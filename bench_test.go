@@ -1,0 +1,82 @@
+package adp_test
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"adp/internal/bench"
+)
+
+// Each benchmark regenerates one table or figure of the paper's
+// Section 7 (see DESIGN.md for the experiment index). The rendered
+// table is printed once per process so `go test -bench=.` doubles as
+// the reproduction report; the timed quantity is the full experiment
+// run (partitioning, refinement and simulated execution included).
+
+var printOnce sync.Map
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		tbl, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, done := printOnce.LoadOrStore(id, true); !done {
+			tbl.Fprint(os.Stdout)
+		}
+	}
+}
+
+// Table 3: partition metrics (fv, fe, λe, λv, λCN).
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+
+// Fig 9(a)-(j): execution cost of the five algorithms, Exp-1.
+func BenchmarkFig9CNLiveJournal(b *testing.B) { benchExperiment(b, "fig9a") }
+func BenchmarkFig9CNTwitter(b *testing.B)     { benchExperiment(b, "fig9b") }
+func BenchmarkFig9TCLiveJournal(b *testing.B) { benchExperiment(b, "fig9c") }
+func BenchmarkFig9TCTwitter(b *testing.B)     { benchExperiment(b, "fig9d") }
+func BenchmarkFig9WCCTwitter(b *testing.B)    { benchExperiment(b, "fig9e") }
+func BenchmarkFig9WCCUKWeb(b *testing.B)      { benchExperiment(b, "fig9f") }
+func BenchmarkFig9PRTwitter(b *testing.B)     { benchExperiment(b, "fig9g") }
+func BenchmarkFig9PRUKWeb(b *testing.B)       { benchExperiment(b, "fig9h") }
+func BenchmarkFig9SSSPTwitter(b *testing.B)   { benchExperiment(b, "fig9i") }
+func BenchmarkFig9SSSPTraffic(b *testing.B)   { benchExperiment(b, "fig9j") }
+
+// Fig 9(k): refinement share of partitioning time, Exp-3.
+func BenchmarkFig9K(b *testing.B) { benchExperiment(b, "fig9k") }
+
+// Fig 9(l): scalability with |G|, Exp-5.
+func BenchmarkFig9L(b *testing.B) { benchExperiment(b, "fig9l") }
+
+// Table 4 / Fig 10(a): composite partition effectiveness, Exp-2.
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+
+// Fig 10(b): composite partitioning time, Exp-4.
+func BenchmarkFig10B(b *testing.B) { benchExperiment(b, "fig10b") }
+
+// Exp-4 space: composite vs separate storage.
+func BenchmarkCompositeSpace(b *testing.B) { benchExperiment(b, "space") }
+
+// Table 5: cost-model learning accuracy and time, Exp-6.
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }
+
+// Fig 11 (appendix): phase decomposition of the refiners.
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+
+// Exp-6 remark: monolithic single-machine runtime vs partitioned
+// execution (the Gunrock comparison).
+func BenchmarkSeqCompare(b *testing.B) { benchExperiment(b, "seqcmp") }
+
+// DESIGN.md ablations: GetCandidates BFS order, MAssign, GetDest set
+// cover, VMerge, batch size.
+func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablation") }
+
+// Contribution (3): Ginger's manual degree threshold vs the learned
+// cost model.
+func BenchmarkGingerSweep(b *testing.B) { benchExperiment(b, "gingersweep") }

@@ -1,0 +1,59 @@
+// Command adbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	adbench list              # show available experiment ids
+//	adbench all               # run every experiment in paper order
+//	adbench table3 fig9b ...  # run selected experiments
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"adp/internal/bench"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "list":
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	case "all":
+		args = nil
+		for _, e := range bench.Experiments() {
+			args = append(args, e.ID)
+		}
+	}
+	for _, id := range args {
+		e, ok := bench.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "adbench: unknown experiment %q (try 'adbench list')\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tbl, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		tbl.Fprint(os.Stdout)
+		fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `adbench — regenerate the paper's experiments
+usage:
+  adbench list                 list experiment ids
+  adbench all                  run everything
+  adbench <id> [<id> ...]      run selected experiments`)
+}

@@ -1,0 +1,172 @@
+// Command adpart partitions a graph for a given algorithm (or the
+// five-algorithm batch) and reports the resulting quality and cost
+// metrics: the end-to-end application-driven pipeline of the paper.
+//
+// Usage:
+//
+//	adpart -graph twitter -n 8 -base Fennel -algo CN
+//	adpart -graph path/to/edges.txt -n 4 -base Grid -algo batch
+//
+// The graph is either a named synthetic stand-in (social, twitter,
+// web, road) or a path to an edge-list file (see internal/graph).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"adp/internal/composite"
+	"adp/internal/costmodel"
+	"adp/internal/gen"
+	"adp/internal/graph"
+	"adp/internal/partition"
+	"adp/internal/partitioner"
+	"adp/internal/refine"
+)
+
+func main() {
+	var (
+		graphName = flag.String("graph", "social", "named graph (social|twitter|web|road) or edge-list file path")
+		n         = flag.Int("n", 4, "number of fragments")
+		baseName  = flag.String("base", "Fennel", "baseline partitioner (xtraPuLP|Fennel|Grid|NE|Ginger|TopoX|Hash|Multilevel|DBH|HDRF)")
+		algoName  = flag.String("algo", "PR", "target algorithm (CN|TC|WCC|PR|SSSP) or 'batch' for the composite")
+		symmetric = flag.Bool("undirected", false, "symmetrise the graph (required for TC)")
+		savePath  = flag.String("save", "", "write the refined partition to this file")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*graphName, *symmetric)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph: %v\n", graph.ComputeStats(g))
+
+	spec, ok := partitioner.ByName(*baseName)
+	if !ok {
+		fatal(fmt.Errorf("unknown baseline %q", *baseName))
+	}
+	start := time.Now()
+	base, err := spec.Run(g, *n)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("baseline %s (%s) in %v: %s\n", spec.Name, spec.Family, time.Since(start).Round(time.Millisecond), metricsLine(base))
+
+	if strings.EqualFold(*algoName, "batch") {
+		runBatch(base, spec)
+		return
+	}
+	algo, err := parseAlgo(*algoName)
+	if err != nil {
+		fatal(err)
+	}
+	model := costmodel.Reference(algo)
+	before := costmodel.Evaluate(base, model)
+	refined := base.Clone()
+	start = time.Now()
+	stats := refine.ForFamily(spec.Family, refined, model, refine.Config{})
+	if stats == nil {
+		fmt.Println("hybrid baseline: no refinement applied")
+		return
+	}
+	after := costmodel.Evaluate(refined, model)
+	fmt.Printf("refined for %v in %v: %s\n", algo, stats.Total.Round(time.Millisecond), metricsLine(refined))
+	fmt.Printf("  migrated=%d splitEdges=%d merged=%d mastersMoved=%d\n",
+		stats.Migrated, stats.SplitEdges, stats.Merged, stats.MastersMoved)
+	fmt.Printf("  parallel cost (model): %.4g -> %.4g (%.2fx)\n",
+		costmodel.ParallelCost(before), costmodel.ParallelCost(after),
+		costmodel.ParallelCost(before)/costmodel.ParallelCost(after))
+	fmt.Printf("  cost balance λ%v: %.2f -> %.2f\n", algo,
+		costmodel.LambdaCost(before), costmodel.LambdaCost(after))
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := partition.Write(f, refined); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  partition written to %s\n", *savePath)
+	}
+}
+
+func runBatch(base *partition.Partition, spec partitioner.Spec) {
+	models := make([]costmodel.CostModel, 0, 5)
+	for _, a := range costmodel.Algos() {
+		models = append(models, costmodel.Reference(a))
+	}
+	start := time.Now()
+	var comp *composite.Composite
+	var err error
+	switch spec.Family {
+	case partitioner.EdgeCutFamily:
+		comp, _, err = composite.ME2H(base, models, composite.Options{})
+	case partitioner.VertexCutFamily:
+		comp, _, err = composite.MV2H(base, models, composite.Options{})
+	default:
+		fatal(fmt.Errorf("batch mode requires an edge-cut or vertex-cut baseline"))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("composite for %v in %v\n", costmodel.Algos(), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  fc=%.2f composite=%d arcs, separate=%d arcs (%.0f%% saved)\n",
+		comp.FC(), comp.StorageArcs(), comp.SeparateStorageArcs(),
+		(1-float64(comp.StorageArcs())/float64(comp.SeparateStorageArcs()))*100)
+	for j, a := range costmodel.Algos() {
+		costs := costmodel.Evaluate(comp.Partition(j), costmodel.Reference(a))
+		fmt.Printf("  %-4v parallel cost %.4g, λ=%.2f\n", a,
+			costmodel.ParallelCost(costs), costmodel.LambdaCost(costs))
+	}
+}
+
+func loadGraph(name string, symmetric bool) (*graph.Graph, error) {
+	var g *graph.Graph
+	switch strings.ToLower(name) {
+	case "social":
+		g = gen.SocialSmall()
+	case "twitter":
+		g = gen.TwitterLike()
+	case "web":
+		g = gen.WebLike()
+	case "road":
+		g = gen.RoadLike()
+	default:
+		f, err := os.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		g, err = graph.ReadEdgeList(f)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if symmetric && !g.Undirected() {
+		g = graph.Symmetrize(g)
+	}
+	return g, nil
+}
+
+func parseAlgo(s string) (costmodel.Algo, error) {
+	for _, a := range costmodel.Algos() {
+		if strings.EqualFold(a.String(), s) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", s)
+}
+
+func metricsLine(p *partition.Partition) string {
+	m := p.ComputeMetrics()
+	return fmt.Sprintf("fv=%.2f fe=%.2f λv=%.2f λe=%.2f", m.FV, m.FE, m.LambdaV, m.LambdaE)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "adpart:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"adp/internal/costmodel"
+)
+
+func TestParseAlgo(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want costmodel.Algo
+		ok   bool
+	}{
+		{"CN", costmodel.CN, true},
+		{"cn", costmodel.CN, true},
+		{"sssp", costmodel.SSSP, true},
+		{"nope", 0, false},
+	} {
+		got, err := parseAlgo(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("parseAlgo(%q) = %v, %v", c.in, got, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("parseAlgo(%q) accepted", c.in)
+		}
+	}
+}
+
+func TestLoadGraphNamed(t *testing.T) {
+	for _, name := range []string{"social", "twitter", "web", "road"} {
+		g, err := loadGraph(name, false)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.NumVertices() == 0 {
+			t.Fatalf("%s empty", name)
+		}
+	}
+	// Symmetrisation flag.
+	g, err := loadGraph("social", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Undirected() {
+		t.Fatal("undirected flag ignored")
+	}
+}
+
+func TestLoadGraphFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "edges.txt")
+	if err := os.WriteFile(path, []byte("# vertices 4 directed\n0 1\n1 2\n2 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := loadGraph(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("loaded %v", g)
+	}
+	if _, err := loadGraph(filepath.Join(dir, "missing.txt"), false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,79 @@
+// Command adtrain runs the Section-4 learning pipeline: it executes
+// each algorithm over the training graphs with per-vertex cost
+// recording, harvests [X(v), t(v)] samples, trains the polynomial
+// regression models by SGD with an 80/20 split, and prints the
+// Table-5-style report. With -out it also writes the learned models as
+// JSON.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"adp/internal/bench"
+	"adp/internal/costmodel"
+)
+
+func main() {
+	var (
+		algoFlag = flag.String("algo", "all", "algorithm to train (CN|TC|WCC|PR|SSSP|all)")
+		out      = flag.String("out", "", "optional path to write learned models as JSON")
+	)
+	flag.Parse()
+
+	var algos []costmodel.Algo
+	if strings.EqualFold(*algoFlag, "all") {
+		algos = costmodel.Algos()
+	} else {
+		found := false
+		for _, a := range costmodel.Algos() {
+			if strings.EqualFold(a.String(), *algoFlag) {
+				algos, found = []costmodel.Algo{a}, true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "adtrain: unknown algorithm %q\n", *algoFlag)
+			os.Exit(2)
+		}
+	}
+
+	type entry struct {
+		Algo  string           `json:"algo"`
+		Kind  string           `json:"kind"`
+		MSRE  float64          `json:"msre"`
+		Model *costmodel.Model `json:"model"`
+	}
+	var entries []entry
+	fmt.Printf("%-5s %-4s %8s %10s %10s  %s\n", "algo", "kind", "samples", "MSRE", "train", "model")
+	for _, a := range algos {
+		for _, comm := range []bool{false, true} {
+			kind := "hA"
+			if comm {
+				kind = "gA"
+			}
+			tm, err := bench.TrainFromLogs(a, comm)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "adtrain: %v %s: %v\n", a, kind, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-5v %-4s %8d %10.4f %10v  %s\n",
+				a, kind, tm.Samples, tm.MSRE, tm.TrainTime.Round(1e6), tm.Model)
+			entries = append(entries, entry{Algo: a.String(), Kind: kind, MSRE: tm.MSRE, Model: tm.Model})
+		}
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(entries, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adtrain:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "adtrain:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("models written to %s\n", *out)
+	}
+}

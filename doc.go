@@ -1,0 +1,23 @@
+// Package adp is a from-scratch Go reproduction of "Application Driven
+// Graph Partitioning" (Fan, Xu, Yin, Yu, Zhou; SIGMOD 2020 and its
+// journal extension): learned per-algorithm cost models (hA, gA) drive
+// hybrid refinements of edge-cut and vertex-cut partitions (E2H/V2H),
+// and composite partitioners (ME2H/MV2H) serve a batch of algorithms
+// from one compact partition.
+//
+// The implementation lives under internal/: graph and generators,
+// the hybrid-partition model, baseline partitioners, the cost-model
+// learning pipeline, a BSP execution engine with cost accounting, the
+// five evaluation algorithms (CN, TC, WCC, PR, SSSP), the refiners,
+// the composite partitioners and the experiment harness that
+// regenerates every table and figure of the paper's Section 7
+// (see DESIGN.md and EXPERIMENTS.md). Entry points:
+//
+//	cmd/adpart   — partition + refine a graph for an algorithm (or batch)
+//	cmd/adbench  — regenerate any paper table/figure by id
+//	cmd/adtrain  — learn cost models from engine running logs
+//	examples/    — runnable walkthroughs of the public pipeline
+//
+// The benchmarks in bench_test.go regenerate each experiment under
+// `go test -bench`.
+package adp

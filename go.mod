@@ -1,0 +1,3 @@
+module adp
+
+go 1.22

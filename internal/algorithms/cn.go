@@ -1,0 +1,119 @@
+package algorithms
+
+import (
+	"adp/internal/engine"
+	"adp/internal/graph"
+	"adp/internal/partition"
+)
+
+const kindCNCount uint8 = 31
+
+// CNOptions configures a common-neighbour run.
+type CNOptions struct {
+	// Theta filters out aggregation vertices with global in-degree
+	// above the threshold (≤ 0 disables), the paper's memory-bounding
+	// practice for Twitter-scale hubs.
+	Theta int
+}
+
+type cnState struct {
+	exch *exchState
+}
+
+// RunCN enumerates common-out-neighbour triples (u1, u2, w): u1 < u2
+// both with arcs into w. Pairs at vertex w are formed at the worker
+// responsible for the arc (u1, w), pairing it with every later
+// in-neighbour from w's FULL in-list (fetched via the neighbour
+// exchange when w is split). The per-copy work is therefore
+// ~ d+L(w)·d+G(w) — the shape hCN learns. Count and checksum aggregate
+// at worker 0 and match CNSeq exactly.
+func RunCN(c *engine.Cluster, opts CNOptions) (CNResult, *engine.Report, error) {
+	g := c.Partition().Graph()
+	inTheta := func(w graph.VertexID) bool {
+		return opts.Theta <= 0 || g.InDegree(w) <= opts.Theta
+	}
+	exch := &neighborExchange{
+		list: func(adj *partition.Adj) []graph.VertexID { return adj.In },
+		needs: func(w *engine.WorkerCtx) map[graph.VertexID]bool {
+			need := map[graph.VertexID]bool{}
+			w.Fragment().Vertices(func(v graph.VertexID, adj *partition.Adj) {
+				if !inTheta(v) || g.InDegree(v) < 2 {
+					return
+				}
+				for _, u := range adj.In {
+					if w.ResponsibleFor(v, u, v) {
+						need[v] = true
+						return
+					}
+				}
+			})
+			return need
+		},
+	}
+	var total CNResult
+	step := func(w *engine.WorkerCtx, s int, inbox []engine.Message) bool {
+		switch s {
+		case 0:
+			w.State = &cnState{exch: exch.step0(w)}
+			return false
+		case 1:
+			st := w.State.(*cnState)
+			exch.step1(w, st.exch, inbox)
+			return false
+		case 2:
+			st := w.State.(*cnState)
+			exch.step2(w, st.exch, inbox)
+			var count int64
+			var checksum uint64
+			w.Fragment().Vertices(func(v graph.VertexID, adj *partition.Adj) {
+				if !inTheta(v) {
+					return
+				}
+				fullIn := st.exch.full[v]
+				if fullIn == nil {
+					return
+				}
+				work := 0
+				for _, u := range adj.In {
+					if !w.ResponsibleFor(v, u, v) {
+						continue
+					}
+					work += len(fullIn)
+					for _, u2 := range fullIn {
+						if u2 <= u {
+							continue
+						}
+						count++
+						checksum += pairHash(u, u2, v)
+					}
+				}
+				if work > 0 {
+					w.ChargeVertex(v, float64(work))
+				}
+			})
+			// The checksum ships as two exact 32-bit halves: float64
+			// represents integers below 2^53 exactly, while raw bit
+			// reinterpretation would risk NaN payload trouble.
+			w.Send(0, engine.Message{Kind: kindCNCount, Data: []float64{
+				float64(count), float64(checksum >> 32), float64(checksum & 0xffffffff),
+			}})
+			return false
+		case 3:
+			if w.ID() == 0 {
+				for _, m := range inbox {
+					if m.Kind == kindCNCount {
+						total.Triples += int64(m.Data[0])
+						total.Checksum += uint64(m.Data[1])<<32 | uint64(m.Data[2])
+					}
+				}
+			}
+			return true
+		}
+		return true
+	}
+	rep, err := c.Run(nil, step, 5)
+	if err != nil {
+		return CNResult{}, rep, err
+	}
+	return total, rep, nil
+}

@@ -1,0 +1,62 @@
+package algorithms
+
+import (
+	"testing"
+
+	"adp/internal/costmodel"
+	"adp/internal/engine"
+	"adp/internal/partitioner"
+)
+
+// The engine's cost accounting must be deterministic: two runs of the
+// same algorithm over the same partition produce identical work,
+// message and critical-path numbers even though workers execute on
+// concurrent goroutines. This is what makes the Fig-9 benches
+// reproducible.
+func TestReportsDeterministic(t *testing.T) {
+	gd := directedTestGraph()
+	gu := undirectedTestGraph()
+	pd, err := partitioner.FennelEdgeCut(gd, 4, partitioner.FennelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pu, err := partitioner.GridVertexCut(gu, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{CNTheta: 50, SSSPSource: 2, PRIterations: 4}
+	for _, algo := range costmodel.Algos() {
+		p := pd
+		if algo == costmodel.TC {
+			p = pu
+		}
+		a, err := Run(engine.NewCluster(p), algo, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		b, err := Run(engine.NewCluster(p), algo, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if a.Report.CriticalWork != b.Report.CriticalWork {
+			t.Errorf("%v: critical work differs: %v vs %v", algo, a.Report.CriticalWork, b.Report.CriticalWork)
+		}
+		if a.Report.CriticalBytes != b.Report.CriticalBytes {
+			t.Errorf("%v: critical bytes differ: %v vs %v", algo, a.Report.CriticalBytes, b.Report.CriticalBytes)
+		}
+		if a.Report.Supersteps != b.Report.Supersteps {
+			t.Errorf("%v: superstep counts differ", algo)
+		}
+		for i := range a.Report.Work {
+			if a.Report.Work[i] != b.Report.Work[i] {
+				t.Errorf("%v: worker %d work differs", algo, i)
+			}
+			if a.Report.MsgBytes[i] != b.Report.MsgBytes[i] {
+				t.Errorf("%v: worker %d bytes differ", algo, i)
+			}
+		}
+		if a.Value != b.Value || a.Checksum != b.Checksum {
+			t.Errorf("%v: results differ across runs", algo)
+		}
+	}
+}

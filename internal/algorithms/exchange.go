@@ -1,0 +1,155 @@
+package algorithms
+
+import (
+	"sort"
+
+	"adp/internal/engine"
+	"adp/internal/graph"
+	"adp/internal/partition"
+)
+
+// neighborExchange is the shared mirror→master→requester adjacency
+// protocol used by TC and CN (Example 1(2): split vertices must ship
+// their neighbour lists before triangles/pairs can be verified).
+//
+// Superstep 0: every copy of a border vertex whose MASTER copy is
+// incomplete ships its local list to the master; workers resolve
+// locally-complete needs and send requests for the rest.
+// Superstep 1: masters merge their own list with the shares and answer
+// requests — incurring the dG(v)·r(v)·I(v)-shaped communication that
+// gTC models.
+// Superstep 2: requesters install the responses; compute can start.
+type neighborExchange struct {
+	// list extracts the relevant local adjacency (undirected
+	// neighbours for TC, in-neighbours for CN).
+	list func(adj *partition.Adj) []graph.VertexID
+	// needs lists the vertices this worker must know the full list of.
+	needs func(w *engine.WorkerCtx) map[graph.VertexID]bool
+}
+
+type exchState struct {
+	full       map[graph.VertexID][]graph.VertexID
+	shares     map[graph.VertexID][][]graph.VertexID
+	pendingOwn map[graph.VertexID]bool
+}
+
+const (
+	kindAdjShare uint8 = iota + 20
+	kindAdjReq
+	kindAdjResp
+)
+
+func (e *neighborExchange) step0(w *engine.WorkerCtx) *exchState {
+	p := w.Partition()
+	st := &exchState{
+		full:       map[graph.VertexID][]graph.VertexID{},
+		shares:     map[graph.VertexID][][]graph.VertexID{},
+		pendingOwn: map[graph.VertexID]bool{},
+	}
+	// Share local lists of border vertices whose master is incomplete.
+	w.Fragment().Vertices(func(x graph.VertexID, adj *partition.Adj) {
+		if !p.IsBorder(x) {
+			return
+		}
+		m := p.Master(x)
+		if m == w.ID() || p.IsComplete(m, x) {
+			return
+		}
+		local := sortedCopy(e.list(adj))
+		w.Send(m, engine.Message{V: x, Kind: kindAdjShare, Adj: local})
+	})
+	// Resolve needs.
+	for x := range e.needs(w) {
+		adj := w.Fragment().Adjacency(x)
+		switch {
+		case adj != nil && p.IsComplete(w.ID(), x):
+			st.full[x] = sortedCopy(e.list(adj))
+		case p.Master(x) == w.ID():
+			st.pendingOwn[x] = true
+		default:
+			// The requester id rides in Data[0] so the master knows
+			// where to respond.
+			w.Send(p.Master(x), engine.Message{V: x, Kind: kindAdjReq, Data: []float64{float64(w.ID())}})
+		}
+	}
+	return st
+}
+
+func (e *neighborExchange) step1(w *engine.WorkerCtx, st *exchState, inbox []engine.Message) {
+	p := w.Partition()
+	var requests []engine.Message
+	for _, m := range inbox {
+		switch m.Kind {
+		case kindAdjShare:
+			st.shares[m.V] = append(st.shares[m.V], m.Adj)
+		case kindAdjReq:
+			requests = append(requests, m)
+		}
+	}
+	merged := map[graph.VertexID][]graph.VertexID{}
+	mergedList := func(x graph.VertexID) []graph.VertexID {
+		if l, ok := merged[x]; ok {
+			return l
+		}
+		var own []graph.VertexID
+		if adj := w.Fragment().Adjacency(x); adj != nil {
+			own = sortedCopy(e.list(adj))
+		}
+		l := mergeSorted(own, st.shares[x])
+		w.ChargeVertex(x, float64(len(l)))
+		merged[x] = l
+		return l
+	}
+	for _, m := range requests {
+		requester := int(m.Data[0])
+		l := mergedList(m.V)
+		w.Send(requester, engine.Message{V: m.V, Kind: kindAdjResp, Adj: l})
+		w.ChargeVertexComm(m.V, float64(len(l)))
+	}
+	for x := range st.pendingOwn {
+		st.full[x] = mergedList(x)
+	}
+	// Shares for un-requested vertices still incurred wire cost;
+	// attribute it to the master copy for the training log.
+	for x, sh := range st.shares {
+		if p.Master(x) == w.ID() {
+			total := 0
+			for _, l := range sh {
+				total += len(l)
+			}
+			w.ChargeVertexComm(x, float64(total))
+		}
+	}
+	st.shares = nil
+}
+
+func (e *neighborExchange) step2(w *engine.WorkerCtx, st *exchState, inbox []engine.Message) {
+	for _, m := range inbox {
+		if m.Kind == kindAdjResp {
+			st.full[m.V] = m.Adj
+		}
+	}
+}
+
+func sortedCopy(s []graph.VertexID) []graph.VertexID {
+	out := append([]graph.VertexID(nil), s...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// mergeSorted unions the base sorted list with additional sorted
+// lists, removing duplicates.
+func mergeSorted(base []graph.VertexID, extra [][]graph.VertexID) []graph.VertexID {
+	all := append([]graph.VertexID(nil), base...)
+	for _, l := range extra {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	out := all[:0]
+	for i, v := range all {
+		if i == 0 || all[i-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}

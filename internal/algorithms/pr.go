@@ -1,0 +1,180 @@
+package algorithms
+
+import (
+	"adp/internal/engine"
+	"adp/internal/graph"
+	"adp/internal/partition"
+)
+
+// PROptions configures a PageRank run.
+type PROptions struct {
+	Iterations int     // default 10
+	Damping    float64 // default 0.85
+}
+
+func (o *PROptions) defaults() {
+	if o.Iterations == 0 {
+		o.Iterations = 10
+	}
+	if o.Damping == 0 {
+		o.Damping = 0.85
+	}
+}
+
+type prState struct {
+	rank    map[graph.VertexID]float64
+	partial map[graph.VertexID]float64
+}
+
+const (
+	kindPartial uint8 = iota + 10
+	kindRank
+	kindDangling
+)
+
+// RunPR computes PageRank over the cluster's partition. Each iteration
+// is two supersteps:
+//
+//	even: every copy accumulates partials over its RESPONSIBLE local
+//	      in-arcs (replicated arcs contribute exactly once cluster-
+//	      wide), ships border partials to the vertex master and
+//	      broadcasts its local dangling mass;
+//	odd:  masters fold partials + dangling base into new ranks and
+//	      broadcast them to mirrors, which apply them at the start of
+//	      the next even superstep.
+//
+// The result matches PRSeq bit-for-bit up to floating-point summation
+// order.
+func RunPR(c *engine.Cluster, opts PROptions) ([]float64, *engine.Report, error) {
+	opts.defaults()
+	p := c.Partition()
+	g := p.Graph()
+	n := g.NumVertices()
+	invN := 1 / float64(n)
+
+	step := func(w *engine.WorkerCtx, s int, inbox []engine.Message) bool {
+		var st *prState
+		if w.State == nil {
+			st = &prState{rank: map[graph.VertexID]float64{}, partial: map[graph.VertexID]float64{}}
+			w.Fragment().Vertices(func(v graph.VertexID, _ *partition.Adj) {
+				st.rank[v] = invN
+			})
+			w.State = st
+		} else {
+			st = w.State.(*prState)
+		}
+		iter := s / 2
+		if iter >= opts.Iterations {
+			return true
+		}
+		if s%2 == 0 {
+			// Apply rank broadcasts from the previous odd superstep.
+			for _, m := range inbox {
+				if m.Kind == kindRank {
+					st.rank[m.V] = m.Data[0]
+				}
+				w.AddWork(1)
+			}
+			// Accumulate partials over responsible in-arcs.
+			st.partial = map[graph.VertexID]float64{}
+			var dangling float64
+			w.Fragment().Vertices(func(v graph.VertexID, adj *partition.Adj) {
+				sum := 0.0
+				any := false
+				for _, u := range adj.In {
+					if !w.ResponsibleFor(v, u, v) {
+						continue
+					}
+					sum += st.rank[u] / float64(g.OutDegree(u))
+					any = true
+				}
+				// The scan walks every local in-arc (the responsibility
+				// check is part of it), so the true per-vertex work is
+				// d+L(v) — the shape hPR learns.
+				if len(adj.In) > 0 {
+					w.ChargeVertex(v, float64(len(adj.In)))
+				}
+				if any {
+					st.partial[v] = sum
+				}
+				// Dangling mass: counted once at the vertex's compute
+				// copy (e-cut node, or master among v-cut copies).
+				if g.OutDegree(v) == 0 && prCountsDangling(p, w.ID(), v) {
+					dangling += st.rank[v]
+				}
+			})
+			// Ship border partials to masters; keep local ones.
+			for v, sum := range st.partial {
+				if p.IsBorder(v) && !w.IsMaster(v) {
+					w.Send(p.Master(v), engine.Message{V: v, Kind: kindPartial, Data: []float64{sum}})
+					delete(st.partial, v)
+				}
+			}
+			// Dangling mass to every worker so all masters share the
+			// same base next superstep.
+			for dst := 0; dst < w.NumWorkers(); dst++ {
+				w.Send(dst, engine.Message{V: 0, Kind: kindDangling, Data: []float64{dangling}})
+			}
+			return false
+		}
+		// Odd superstep: masters combine.
+		var danglingTerm float64
+		for _, m := range inbox {
+			switch m.Kind {
+			case kindPartial:
+				st.partial[m.V] += m.Data[0]
+			case kindDangling:
+				danglingTerm += m.Data[0]
+			}
+			w.AddWork(1)
+		}
+		base := (1-opts.Damping)*invN + opts.Damping*danglingTerm*invN
+		w.Fragment().Vertices(func(v graph.VertexID, _ *partition.Adj) {
+			if !w.IsMaster(v) {
+				return
+			}
+			newRank := base + opts.Damping*st.partial[v]
+			st.rank[v] = newRank
+			w.AddWork(1)
+			mirrors := w.Mirrors(v)
+			for _, dst := range mirrors {
+				w.Send(dst, engine.Message{V: v, Kind: kindRank, Data: []float64{newRank}})
+			}
+			if len(mirrors) > 0 {
+				w.ChargeVertexComm(v, float64(len(mirrors)))
+			}
+		})
+		st.partial = map[graph.VertexID]float64{}
+		return iter+1 >= opts.Iterations
+	}
+	rep, err := c.Run(nil, step, 2*opts.Iterations+3)
+	if err != nil {
+		return nil, rep, err
+	}
+	rank := make([]float64, n)
+	for i := 0; i < p.NumFragments(); i++ {
+		st, _ := c.Worker(i).State.(*prState)
+		if st == nil {
+			continue
+		}
+		for v, r := range st.rank {
+			if p.Master(v) == i {
+				rank[v] = r
+			}
+		}
+	}
+	return rank, rep, nil
+}
+
+// prCountsDangling designates exactly one copy of a dangling vertex to
+// contribute its mass: the e-cut node when v is e-cut, otherwise the
+// master copy.
+func prCountsDangling(p *partition.Partition, frag int, v graph.VertexID) bool {
+	switch p.Status(frag, v) {
+	case partition.ECutNode:
+		return true
+	case partition.VCutNode:
+		return p.Master(v) == frag
+	}
+	return false
+}

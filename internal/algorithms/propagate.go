@@ -1,0 +1,249 @@
+package algorithms
+
+import (
+	"container/heap"
+	"math"
+
+	"adp/internal/engine"
+	"adp/internal/graph"
+	"adp/internal/partition"
+)
+
+// propEntry / propHeap implement the value-ordered local sweep.
+type propEntry struct {
+	v   graph.VertexID
+	val float64
+}
+
+type propHeap []propEntry
+
+func (h propHeap) Len() int           { return len(h) }
+func (h propHeap) Less(i, j int) bool { return h[i].val < h[j].val }
+func (h propHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *propHeap) Push(x any)        { *h = append(*h, x.(propEntry)) }
+func (h *propHeap) Pop() any {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// propagation implements the shared skeleton of WCC and SSSP: a
+// monotone min-value propagation. Each superstep a worker (1) applies
+// incoming value updates, (2) relaxes values to a local fixpoint over
+// its fragment's arcs, and (3) synchronises changed border values
+// through the master copy (mirror → master → mirrors), the
+// master-mirror protocol whose cost gA models.
+//
+// Because min is idempotent and commutative, replicated arcs need no
+// responsibility dedup.
+type propagation struct {
+	// relaxTargets yields the (neighbour, newValue) relaxations of v.
+	relax func(v graph.VertexID, val float64, adj *partition.Adj, visit func(w graph.VertexID, nv float64))
+	// init returns the starting value of v.
+	init func(v graph.VertexID) float64
+	// scanDegree is the number of arcs relax scans for v — the
+	// per-vertex cost unit (full local degree for WCC, out-degree for
+	// SSSP, matching hWCC and hSSSP).
+	scanDegree func(adj *partition.Adj) int
+}
+
+type propState struct {
+	val   map[graph.VertexID]float64
+	dirty map[graph.VertexID]bool // border copies whose value changed since last sync
+	// synced marks border masters that already contributed a
+	// communication training sample; per-vertex comm cost is charged
+	// once (∝ r(v)), matching the gWCC/gSSSP shape, while every
+	// broadcast still pays wire bytes.
+	synced map[graph.VertexID]bool
+}
+
+const (
+	kindToMaster uint8 = iota + 1
+	kindToMirror
+)
+
+// run executes the propagation and returns per-vertex values read from
+// master copies.
+func (pr *propagation) run(c *engine.Cluster, maxSupersteps int) (map[graph.VertexID]float64, *engine.Report, error) {
+	p := c.Partition()
+	step := func(w *engine.WorkerCtx, s int, inbox []engine.Message) bool {
+		var st *propState
+		if w.State == nil {
+			st = &propState{val: map[graph.VertexID]float64{}, dirty: map[graph.VertexID]bool{}, synced: map[graph.VertexID]bool{}}
+			w.Fragment().Vertices(func(v graph.VertexID, _ *partition.Adj) {
+				st.val[v] = pr.init(v)
+			})
+			w.State = st
+		} else {
+			st = w.State.(*propState)
+		}
+		// (1) apply incoming updates.
+		var pq propHeap
+		for _, m := range inbox {
+			if cur, ok := st.val[m.V]; ok && m.Data[0] < cur {
+				st.val[m.V] = m.Data[0]
+				heap.Push(&pq, propEntry{m.V, m.Data[0]})
+				if p.IsBorder(m.V) {
+					st.dirty[m.V] = true
+				}
+			}
+			w.AddWork(1)
+		}
+		// On the first superstep every vertex is a seed, and the full
+		// scan is where per-vertex cost samples come from: each vertex
+		// is charged its local degree exactly once (the hWCC/hSSSP
+		// shape); all later incremental relaxations count as fragment
+		// work only.
+		if s == 0 {
+			w.Fragment().Vertices(func(v graph.VertexID, adj *partition.Adj) {
+				heap.Push(&pq, propEntry{v, st.val[v]})
+				w.ChargeVertex(v, float64(pr.scanDegree(adj)))
+			})
+		}
+		// (2) local fixpoint as a value-ordered sweep (a local
+		// Dijkstra): values only decrease, so popping in ascending
+		// order settles each vertex at most once per superstep and
+		// keeps the work insensitive to relaxation order.
+		frag := w.Fragment()
+		for pq.Len() > 0 {
+			top := heap.Pop(&pq).(propEntry)
+			if top.val > st.val[top.v] {
+				continue // stale entry
+			}
+			adj := frag.Adjacency(top.v)
+			if adj == nil {
+				continue
+			}
+			w.AddWork(float64(pr.scanDegree(adj)))
+			pr.relax(top.v, top.val, adj, func(u graph.VertexID, nv float64) {
+				if cur, ok := st.val[u]; ok && nv < cur {
+					st.val[u] = nv
+					heap.Push(&pq, propEntry{u, nv})
+					if p.IsBorder(u) {
+						st.dirty[u] = true
+					}
+				}
+			})
+		}
+		// (3) synchronise borders through masters.
+		for v := range st.dirty {
+			if w.IsMaster(v) {
+				mirrors := w.Mirrors(v)
+				for _, dst := range mirrors {
+					w.Send(dst, engine.Message{V: v, Kind: kindToMirror, Data: []float64{st.val[v]}})
+				}
+				if !st.synced[v] {
+					st.synced[v] = true
+					w.ChargeVertexComm(v, float64(len(mirrors)))
+				}
+			} else {
+				w.Send(p.Master(v), engine.Message{V: v, Kind: kindToMaster, Data: []float64{st.val[v]}})
+			}
+		}
+		changed := len(st.dirty) > 0
+		st.dirty = map[graph.VertexID]bool{}
+		return !changed
+	}
+	rep, err := c.Run(nil, step, maxSupersteps)
+	if err != nil {
+		return nil, rep, err
+	}
+	// Collect values from master copies.
+	out := make(map[graph.VertexID]float64, p.Graph().NumVertices())
+	for i := 0; i < p.NumFragments(); i++ {
+		st, _ := c.Worker(i).State.(*propState)
+		if st == nil {
+			continue
+		}
+		for v, val := range st.val {
+			if p.Master(v) == i {
+				out[v] = val
+			}
+		}
+	}
+	return out, rep, nil
+}
+
+// WCCResult holds per-vertex component labels from a distributed run.
+type WCCResult struct {
+	Labels []graph.VertexID
+	Count  int
+}
+
+// RunWCC computes weakly connected components over the cluster's
+// partition by min-label propagation.
+func RunWCC(c *engine.Cluster) (WCCResult, *engine.Report, error) {
+	pr := &propagation{
+		init:       func(v graph.VertexID) float64 { return float64(v) },
+		scanDegree: func(adj *partition.Adj) int { return adj.LocalDegree() },
+		relax: func(v graph.VertexID, val float64, adj *partition.Adj, visit func(graph.VertexID, float64)) {
+			for _, u := range adj.Out {
+				visit(u, val)
+			}
+			for _, u := range adj.In {
+				visit(u, val)
+			}
+		},
+	}
+	vals, rep, err := pr.run(c, 10000)
+	if err != nil {
+		return WCCResult{}, rep, err
+	}
+	n := c.Partition().Graph().NumVertices()
+	res := WCCResult{Labels: make([]graph.VertexID, n)}
+	roots := map[graph.VertexID]bool{}
+	for v := 0; v < n; v++ {
+		label := graph.VertexID(vals[graph.VertexID(v)])
+		res.Labels[v] = label
+		roots[label] = true
+	}
+	res.Count = len(roots)
+	return res, rep, nil
+}
+
+// SSSPResult holds per-vertex shortest distances (Unreachable when no
+// path exists).
+type SSSPResult struct {
+	Dist []float64
+}
+
+// Unreachable is the distance reported for vertices with no path from
+// the source.
+const Unreachable = 1e300
+
+// RunSSSP computes single-source shortest paths over out-edges with
+// EdgeWeight, matching SSSPSeq.
+func RunSSSP(c *engine.Cluster, source graph.VertexID) (SSSPResult, *engine.Report, error) {
+	pr := &propagation{
+		init: func(v graph.VertexID) float64 {
+			if v == source {
+				return 0
+			}
+			return Unreachable
+		},
+		scanDegree: func(adj *partition.Adj) int { return len(adj.Out) },
+		relax: func(v graph.VertexID, val float64, adj *partition.Adj, visit func(graph.VertexID, float64)) {
+			if val >= Unreachable {
+				return
+			}
+			for _, u := range adj.Out {
+				visit(u, val+EdgeWeight(v, u))
+			}
+		},
+	}
+	vals, rep, err := pr.run(c, 10000)
+	if err != nil {
+		return SSSPResult{}, rep, err
+	}
+	n := c.Partition().Graph().NumVertices()
+	res := SSSPResult{Dist: make([]float64, n)}
+	for v := 0; v < n; v++ {
+		d, ok := vals[graph.VertexID(v)]
+		if !ok {
+			d = Unreachable
+		}
+		res.Dist[v] = math.Min(d, Unreachable)
+	}
+	return res, rep, nil
+}

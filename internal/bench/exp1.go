@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+
+	"adp/internal/costmodel"
+	"adp/internal/partitioner"
+	"adp/internal/refine"
+)
+
+// fig9NS are the fragment counts swept by the Fig-9 experiments —
+// the paper's 16..128 workers scaled to in-process size.
+var fig9NS = []int{4, 8, 12}
+
+// fig9Rows lists the partitioner variants each Fig-9 chart plots:
+// every baseline plus its H-refinement (hybrid baselines have none).
+var fig9Rows = []struct {
+	base    string
+	refined bool
+}{
+	{"xtraPuLP", false}, {"xtraPuLP", true},
+	{"Fennel", false}, {"Fennel", true},
+	{"Grid", false}, {"Grid", true},
+	{"NE", false}, {"NE", true},
+	{"Ginger", false},
+	{"TopoX", false},
+}
+
+// Fig9Exec reproduces one Fig-9 execution-time chart: the simulated
+// parallel cost of algo on dataset for every partitioner variant,
+// varying the fragment count.
+func Fig9Exec(algo costmodel.Algo, dataset, id string) (*Table, error) {
+	ds := algoDataset(dataset, algo)
+	opts := defaultOpts(dataset)
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("%v on %s: simulated parallel cost (work units)", algo, dataset),
+		Header: []string{"partitioner"},
+	}
+	for _, n := range fig9NS {
+		t.Header = append(t.Header, fmt.Sprintf("n=%d", n))
+	}
+	model := costmodel.Reference(algo)
+	var sumSpeed, cntSpeed float64
+	baseCost := map[int]map[string]float64{}
+	for _, row := range fig9Rows {
+		name := row.base
+		if row.refined {
+			name = "H" + name
+		}
+		cells := []string{name}
+		values := []float64{0}
+		for _, n := range fig9NS {
+			base, err := basePartition(ds, row.base, n)
+			if err != nil {
+				return nil, err
+			}
+			p := base
+			if row.refined {
+				spec, _ := partitioner.ByName(row.base)
+				p = base.Clone()
+				refine.ForFamily(spec.Family, p, model, refine.Config{})
+			}
+			cost, err := runCost(p, algo, opts)
+			if err != nil {
+				return nil, fmt.Errorf("%s n=%d: %w", name, n, err)
+			}
+			cells = append(cells, fmtF(cost))
+			values = append(values, cost)
+			if baseCost[n] == nil {
+				baseCost[n] = map[string]float64{}
+			}
+			if row.refined {
+				if b := baseCost[n][row.base]; b > 0 && cost > 0 {
+					sumSpeed += b / cost
+					cntSpeed++
+				}
+			} else {
+				baseCost[n][row.base] = cost
+			}
+		}
+		t.addRow(cells, values)
+	}
+	if cntSpeed > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("average H-refinement speedup: %.2fx", sumSpeed/cntSpeed))
+	}
+	return t, nil
+}

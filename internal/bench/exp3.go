@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"adp/internal/costmodel"
+	"adp/internal/partitioner"
+	"adp/internal/refine"
+)
+
+// Fig9K reproduces Fig 9(k) / Exp-3: the wall time ParE2H / ParV2H
+// spends refining for TC on the Twitter stand-in, against the total
+// partitioning time (initial partitioner + refinement), varying the
+// fragment count. The paper reports the refinement share at 11.5% /
+// 11.1% on average.
+func Fig9K() (*Table, error) {
+	ds := algoDataset(DSTwitter, costmodel.TC)
+	model := costmodel.Reference(costmodel.TC)
+	t := &Table{
+		ID:     "fig9k",
+		Title:  "Partitioning time split for TC on Twitter* (wall ms)",
+		Header: []string{"partitioner", "n", "initial(ms)", "refine(ms)", "share"},
+	}
+	var shareSum, shareCnt float64
+	for _, name := range []string{"xtraPuLP", "Fennel", "Grid", "NE"} {
+		spec, _ := partitioner.ByName(name)
+		for _, n := range fig9NS {
+			g := Dataset(ds)
+			start := time.Now()
+			base, err := spec.Run(g, n)
+			if err != nil {
+				return nil, err
+			}
+			initMS := float64(time.Since(start).Microseconds()) / 1000
+			p := base.Clone()
+			stats := refine.ForFamily(spec.Family, p, model, refine.Config{})
+			refineMS := float64(stats.Total.Microseconds()) / 1000
+			share := refineMS / (initMS + refineMS)
+			shareSum += share
+			shareCnt++
+			t.addRow(
+				[]string{"H" + name, fmt.Sprintf("%d", n), fmtF(initMS), fmtF(refineMS), fmt.Sprintf("%.1f%%", share*100)},
+				[]float64{0, float64(n), initMS, refineMS, share},
+			)
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("average refinement share: %.1f%% (paper: 11.5%% edge-cut / 11.1%% vertex-cut of total partitioning time)", shareSum/shareCnt*100))
+	return t, nil
+}

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"fmt"
+
+	"adp/internal/costmodel"
+	"adp/internal/gen"
+	"adp/internal/partitioner"
+	"adp/internal/refine"
+)
+
+// Fig9L reproduces Fig 9(l) / Exp-5: refinement wall time as the
+// synthetic graph grows from |G| to 5|G| (the paper sweeps 100M..500M
+// vertices on 96 workers; we sweep the scaled stand-ins on 8
+// fragments). Near-linear growth is the claim under test.
+func Fig9L() (*Table, error) {
+	const n = 8
+	model := costmodel.Reference(costmodel.CN)
+	t := &Table{
+		ID:     "fig9l",
+		Title:  "Refinement time vs |G| for CN (wall ms, n=8)",
+		Header: []string{"size", "|V|", "|E|", "ParE2H(Fennel)", "ParV2H(Grid)"},
+	}
+	for f := 1; f <= 5; f++ {
+		g := gen.Scaled(f)
+		ec, err := partitioner.FennelEdgeCut(g, n, partitioner.FennelConfig{})
+		if err != nil {
+			return nil, err
+		}
+		e2hStats := refine.ParE2H(ec, model, refine.Config{})
+		vc, err := partitioner.GridVertexCut(g, n)
+		if err != nil {
+			return nil, err
+		}
+		v2hStats := refine.ParV2H(vc, model, refine.Config{})
+		e2hMS := float64(e2hStats.Total.Microseconds()) / 1000
+		v2hMS := float64(v2hStats.Total.Microseconds()) / 1000
+		t.addRow(
+			[]string{fmt.Sprintf("%d|G|", f), fmt.Sprintf("%d", g.NumVertices()), fmt.Sprintf("%d", g.NumEdges()), fmtF(e2hMS), fmtF(v2hMS)},
+			[]float64{float64(f), float64(g.NumVertices()), float64(g.NumEdges()), e2hMS, v2hMS},
+		)
+	}
+	t.Notes = append(t.Notes, "paper: ParE2H 12.2s->59.7s, ParV2H 5.7s->32.5s on 100M..500M vertices, 96 workers")
+	return t, nil
+}

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"adp/internal/algorithms"
+	"adp/internal/costmodel"
+	"adp/internal/engine"
+	"adp/internal/gen"
+	"adp/internal/graph"
+	"adp/internal/partition"
+	"adp/internal/partitioner"
+)
+
+// CollectTrainingSamples runs algo over the Section-4 training graphs
+// — randomly partitioned alternately by edge-cut and vertex-cut, per
+// the paper — with per-vertex cost recording enabled, and returns the
+// harvested computation and communication samples.
+func CollectTrainingSamples(algo costmodel.Algo) (comp, comm []costmodel.Sample, err error) {
+	graphs := gen.TrainingGraphs()
+	for i, g := range graphs {
+		if algo == costmodel.TC && !g.Undirected() {
+			g = graph.Symmetrize(g)
+		}
+		var p *partition.Partition
+		if i%2 == 0 {
+			p, err = partitioner.HashEdgeCut(g, 3)
+		} else {
+			p, err = partitioner.GridVertexCut(g, 3)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		c := engine.NewCluster(p)
+		c.EnableCostRecording()
+		opts := algorithms.Options{CNTheta: 300, SSSPSource: 0, PRIterations: 3}
+		if _, err := algorithms.Run(c, algo, opts); err != nil {
+			return nil, nil, err
+		}
+		hc, hm := c.HarvestSamples()
+		comp = append(comp, hc...)
+		comm = append(comm, hm...)
+	}
+	return comp, comm, nil
+}
+
+// TrainedModel is one Table-5 row: the learned polynomial, its test
+// MSRE and the training wall time.
+type TrainedModel struct {
+	Algo      costmodel.Algo
+	Model     *costmodel.Model
+	MSRE      float64
+	Samples   int
+	TrainTime time.Duration
+}
+
+// TrainFromLogs learns hA (kind "comp") or gA (kind "comm") for algo
+// from engine running logs, with the paper's 80/20 split.
+func TrainFromLogs(algo costmodel.Algo, comm bool) (*TrainedModel, error) {
+	compS, commS, err := CollectTrainingSamples(algo)
+	if err != nil {
+		return nil, err
+	}
+	data := compS
+	vars, degree := costmodel.LearnableVars(algo)
+	if comm {
+		data = commS
+		vars, degree = costmodel.LearnableCommVars(algo)
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("bench: no %v samples harvested", algo)
+	}
+	train, test := costmodel.Split(data, 0.8, 11)
+	start := time.Now()
+	m, err := costmodel.Train(costmodel.PolyTerms(vars, degree), train, costmodel.TrainConfig{Seed: 12})
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	return &TrainedModel{
+		Algo:      algo,
+		Model:     m,
+		MSRE:      costmodel.MSRE(m, test),
+		Samples:   len(data),
+		TrainTime: elapsed,
+	}, nil
+}
+
+// Table5 reproduces Table 5 / Exp-6: per algorithm, the learned
+// computation and communication cost functions, their test MSRE and
+// training time. The paper's acceptance bar is MSRE ≤ 0.11.
+func Table5() (*Table, error) {
+	t := &Table{
+		ID:     "table5",
+		Title:  "Accuracy and training time of cost models (engine running logs)",
+		Header: []string{"algo", "kind", "samples", "MSRE", "train(ms)", "model"},
+	}
+	for _, algo := range batchAlgos {
+		for _, comm := range []bool{false, true} {
+			kind := "hA"
+			if comm {
+				kind = "gA"
+			}
+			tm, err := TrainFromLogs(algo, comm)
+			if err != nil {
+				return nil, fmt.Errorf("%v %s: %w", algo, kind, err)
+			}
+			ms := float64(tm.TrainTime.Microseconds()) / 1000
+			modelStr := tm.Model.String()
+			if len(modelStr) > 60 {
+				modelStr = modelStr[:57] + "..."
+			}
+			t.addRow(
+				[]string{algo.String(), kind, fmt.Sprintf("%d", tm.Samples), fmt.Sprintf("%.4f", tm.MSRE), fmtF(ms), modelStr},
+				[]float64{0, 0, float64(tm.Samples), tm.MSRE, ms, 0},
+			)
+		}
+	}
+	t.Notes = append(t.Notes, "paper: MSRE ≤ 0.11 for every model; training ≤ 49.8s on a V100 (PyTorch)")
+	return t, nil
+}

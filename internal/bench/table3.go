@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"adp/internal/costmodel"
+	"adp/internal/partitioner"
+	"adp/internal/refine"
+)
+
+// Table3 reproduces Table 3: the partition-quality metrics fv, fe, λe,
+// λv and the CN cost-balance factor λCN on the Twitter stand-in, for
+// every baseline and its CN-driven H-refinement. The paper's headline
+// reads off the λCN column: the H-variants collapse it while the
+// static metrics barely move.
+func Table3() (*Table, error) {
+	const n = 8
+	t := &Table{
+		ID:     "table3",
+		Title:  "Partition metrics of Twitter* (n=8)",
+		Header: []string{"partitioner", "fv", "fe", "λe", "λv", "λCN"},
+	}
+	model := costmodel.Reference(costmodel.CN)
+	for _, row := range fig9Rows {
+		base, err := basePartition(DSTwitter, row.base, n)
+		if err != nil {
+			return nil, err
+		}
+		p := base
+		name := row.base
+		if row.refined {
+			name = "H" + name
+			spec, _ := partitioner.ByName(row.base)
+			p = base.Clone()
+			refine.ForFamily(spec.Family, p, model, refine.Config{})
+		}
+		m := p.ComputeMetrics()
+		lcn := costmodel.LambdaCost(costmodel.Evaluate(p, model))
+		t.addRow(
+			[]string{name, fmtF(m.FV), fmtF(m.FE), fmtF(m.LambdaE), fmtF(m.LambdaV), fmtF(lcn)},
+			[]float64{0, m.FV, m.FE, m.LambdaE, m.LambdaV, lcn},
+		)
+	}
+	t.Notes = append(t.Notes,
+		"paper (n=96): xtraPuLP λCN 7.2 -> HxtraPuLP 1.4; Fennel 13.7 -> 1.3; Grid 3.2 -> 1.3; NE 3.6 -> 1.4")
+	return t, nil
+}

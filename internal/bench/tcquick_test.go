@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"testing"
+
+	"adp/internal/costmodel"
+)
+
+// hTC is the paper's own accuracy outlier ("node degrees are not
+// informative enough for cost prediction"); ours inherits that. This
+// regression guard keeps it from degrading past an order of magnitude
+// while the well-behaved models are asserted tightly elsewhere.
+func TestTCModelOutlierBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full training sweep")
+	}
+	tm, err := TrainFromLogs(costmodel.TC, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.MSRE > 10 {
+		t.Fatalf("TC hA MSRE = %v, regression past the documented outlier band", tm.MSRE)
+	}
+	tg, err := TrainFromLogs(costmodel.TC, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.MSRE > 0.11 {
+		t.Fatalf("TC gA MSRE = %v, want ≤ 0.11", tg.MSRE)
+	}
+}

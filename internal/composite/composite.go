@@ -1,0 +1,280 @@
+// Package composite implements Section 6 of the paper: composite
+// partitions HP(n,k) — a compact representation of k per-algorithm
+// hybrid partitions sharing a per-fragment core Ci — and the composite
+// partitioners ME2H and MV2H that build one from an edge-cut or a
+// vertex-cut for a batch of algorithms A1..Ak at once.
+package composite
+
+import (
+	"fmt"
+
+	"adp/internal/graph"
+	"adp/internal/partition"
+)
+
+// residualSet is a bitset over the k partitions (k ≤ 32).
+type residualSet uint32
+
+// indexEntry is the per-arc coherence index of Section 6.1: whether
+// the arc sits in the fragment's core, and otherwise which residual
+// fragments F̂ji hold it.
+type indexEntry struct {
+	core      bool
+	residuals residualSet
+}
+
+// Composite is a composite partition HP(n,k) =
+// {HP1(n), ..., HPk(n)}: each fragment F^j_i is stored as the shared
+// core Ci plus the residual F̂ji.
+type Composite struct {
+	g     *graph.Graph
+	n, k  int
+	parts []*partition.Partition
+	// coreArcs[i] counts |Ci| (in arcs); the explicit arc sets live in
+	// the coherence index.
+	coreArcs []int
+	// index[i] maps arc key -> placement inside composite fragment i.
+	index []map[uint64]indexEntry
+}
+
+func arcKey(u, v graph.VertexID) uint64 { return uint64(u)<<32 | uint64(v) }
+
+// New assembles a composite from k individual partitions of the same
+// graph with the same fragment count, computing cores and the
+// coherence index.
+func New(g *graph.Graph, parts []*partition.Partition) (*Composite, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("composite: no partitions")
+	}
+	if len(parts) > 32 {
+		return nil, fmt.Errorf("composite: at most 32 partitions supported, got %d", len(parts))
+	}
+	n := parts[0].NumFragments()
+	for j, p := range parts {
+		if p.Graph() != g {
+			return nil, fmt.Errorf("composite: partition %d is over a different graph", j)
+		}
+		if p.NumFragments() != n {
+			return nil, fmt.Errorf("composite: partition %d has %d fragments, want %d", j, p.NumFragments(), n)
+		}
+	}
+	c := &Composite{g: g, n: n, k: len(parts), parts: parts}
+	c.rebuildIndex()
+	return c, nil
+}
+
+// rebuildIndex recomputes cores and the coherence index from the
+// individual partitions.
+func (c *Composite) rebuildIndex() {
+	c.coreArcs = make([]int, c.n)
+	c.index = make([]map[uint64]indexEntry, c.n)
+	for i := 0; i < c.n; i++ {
+		idx := map[uint64]indexEntry{}
+		for j, p := range c.parts {
+			f := p.Fragment(i)
+			f.Vertices(func(v graph.VertexID, adj *partition.Adj) {
+				for _, w := range adj.Out {
+					k := arcKey(v, w)
+					e := idx[k]
+					e.residuals |= 1 << uint(j)
+					idx[k] = e
+				}
+			})
+		}
+		full := residualSet(1<<uint(c.k) - 1)
+		for k, e := range idx {
+			if e.residuals == full {
+				idx[k] = indexEntry{core: true}
+				c.coreArcs[i]++
+			}
+		}
+		c.index[i] = idx
+	}
+}
+
+// K returns the number of bundled partitions.
+func (c *Composite) K() int { return c.k }
+
+// N returns the fragment count.
+func (c *Composite) N() int { return c.n }
+
+// Partition returns the j-th individual hybrid partition HPj(n).
+func (c *Composite) Partition(j int) *partition.Partition { return c.parts[j] }
+
+// Partitions returns all bundled partitions.
+func (c *Composite) Partitions() []*partition.Partition { return c.parts }
+
+// CoreArcs returns |Ci| in arcs for fragment i.
+func (c *Composite) CoreArcs(i int) int { return c.coreArcs[i] }
+
+// StorageArcs returns the composite storage cost
+// Σ_i (|Ci| + Σ_j |F̂ji|): arcs in a core are stored once regardless
+// of how many partitions share them.
+func (c *Composite) StorageArcs() int {
+	total := 0
+	for i := 0; i < c.n; i++ {
+		total += c.coreArcs[i]
+		for _, e := range c.index[i] {
+			if !e.core {
+				total += popcount(e.residuals)
+			}
+		}
+	}
+	return total
+}
+
+// SeparateStorageArcs returns what storing the k partitions separately
+// would cost — the Exp-4 comparison baseline.
+func (c *Composite) SeparateStorageArcs() int {
+	total := 0
+	for _, p := range c.parts {
+		total += p.StorageArcs()
+	}
+	return total
+}
+
+// FC returns the composite replication ratio fc =
+// StorageArcs / |E(G)| (Section 6.1).
+func (c *Composite) FC() float64 {
+	if c.g.NumEdges() == 0 {
+		return 0
+	}
+	return float64(c.StorageArcs()) / float64(c.g.NumEdges())
+}
+
+// Locate returns, for composite fragment i, whether the arc lies in
+// the core and the list of partitions whose residual holds it
+// (empty for core arcs, per the (ci, ri) index of Section 6.1).
+func (c *Composite) Locate(i int, u, v graph.VertexID) (core bool, residuals []int, present bool) {
+	e, ok := c.index[i][arcKey(u, v)]
+	if !ok {
+		return false, nil, false
+	}
+	if e.core {
+		return true, nil, true
+	}
+	for j := 0; j < c.k; j++ {
+		if e.residuals&(1<<uint(j)) != 0 {
+			residuals = append(residuals, j)
+		}
+	}
+	return false, residuals, true
+}
+
+// DeleteEdge deletes the edge coherently from every bundled partition
+// using the index to locate copies, then updates the index. For
+// undirected graphs both arcs go. It reports whether any copy existed.
+func (c *Composite) DeleteEdge(u, v graph.VertexID) bool {
+	found := false
+	for i := 0; i < c.n; i++ {
+		e, ok := c.index[i][arcKey(u, v)]
+		if !ok {
+			continue
+		}
+		found = true
+		for j := 0; j < c.k; j++ {
+			if e.core || e.residuals&(1<<uint(j)) != 0 {
+				c.parts[j].RemoveEdge(i, u, v)
+			}
+		}
+		if e.core {
+			c.coreArcs[i]--
+		}
+		delete(c.index[i], arcKey(u, v))
+		if c.g.Undirected() {
+			delete(c.index[i], arcKey(v, u))
+		}
+	}
+	return found
+}
+
+// InsertEdge inserts the edge into every bundled partition; dest[j]
+// names the target fragment for partition j (the edge "carries its
+// target fragments", Section 6.1). When all destinations agree the
+// arc lands in the core and is indexed once.
+func (c *Composite) InsertEdge(u, v graph.VertexID, dest []int) error {
+	if len(dest) != c.k {
+		return fmt.Errorf("composite: %d destinations for %d partitions", len(dest), c.k)
+	}
+	allSame := true
+	for _, d := range dest[1:] {
+		if d != dest[0] {
+			allSame = false
+			break
+		}
+	}
+	for j, d := range dest {
+		if d < 0 || d >= c.n {
+			return fmt.Errorf("composite: destination %d out of range", d)
+		}
+		c.parts[j].AddEdge(d, u, v)
+	}
+	stamp := func(key uint64) {
+		if allSame {
+			e := c.index[dest[0]][key]
+			if !e.core {
+				c.index[dest[0]][key] = indexEntry{core: true}
+				c.coreArcs[dest[0]]++
+			}
+			return
+		}
+		for j, d := range dest {
+			e := c.index[d][key]
+			if !e.core {
+				e.residuals |= 1 << uint(j)
+				c.index[d][key] = e
+			}
+		}
+	}
+	stamp(arcKey(u, v))
+	if c.g.Undirected() {
+		stamp(arcKey(v, u))
+	}
+	return nil
+}
+
+// Validate checks every bundled partition plus index consistency.
+// It assumes the composite still matches the graph it was built from;
+// after coherent updates (InsertEdge/DeleteEdge) use ValidateIndex,
+// since the immutable Graph no longer reflects the edits.
+func (c *Composite) Validate() error {
+	for j, p := range c.parts {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("composite partition %d: %w", j, err)
+		}
+	}
+	return c.ValidateIndex()
+}
+
+// ValidateIndex checks that the coherence index agrees with the
+// bundled partitions' contents.
+func (c *Composite) ValidateIndex() error {
+	// The index must agree with the partitions.
+	for i := 0; i < c.n; i++ {
+		for j, p := range c.parts {
+			f := p.Fragment(i)
+			count := 0
+			f.Vertices(func(v graph.VertexID, adj *partition.Adj) {
+				for _, w := range adj.Out {
+					e, ok := c.index[i][arcKey(v, w)]
+					if !ok || (!e.core && e.residuals&(1<<uint(j)) == 0) {
+						count++
+					}
+				}
+			})
+			if count > 0 {
+				return fmt.Errorf("composite: index misses %d arcs of partition %d fragment %d", count, j, i)
+			}
+		}
+	}
+	return nil
+}
+
+func popcount(x residualSet) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

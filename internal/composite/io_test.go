@@ -1,0 +1,52 @@
+package composite
+
+import (
+	"bytes"
+	"testing"
+
+	"adp/internal/partitioner"
+)
+
+func TestCompositeWriteReadRoundTrip(t *testing.T) {
+	g := testGraph()
+	base, err := partitioner.FennelEdgeCut(g, 3, partitioner.FennelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, _, err := ME2H(base, batchModels(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, comp); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if back.K() != comp.K() || back.N() != comp.N() {
+		t.Fatalf("shape changed: k=%d n=%d", back.K(), back.N())
+	}
+	if back.StorageArcs() != comp.StorageArcs() {
+		t.Fatalf("storage changed: %d vs %d", back.StorageArcs(), comp.StorageArcs())
+	}
+	if back.FC() != comp.FC() {
+		t.Fatalf("fc changed: %v vs %v", back.FC(), comp.FC())
+	}
+	for i := 0; i < comp.N(); i++ {
+		if back.CoreArcs(i) != comp.CoreArcs(i) {
+			t.Fatalf("core %d changed: %d vs %d", i, back.CoreArcs(i), comp.CoreArcs(i))
+		}
+	}
+}
+
+func TestCompositeReadBadMagic(t *testing.T) {
+	g := testGraph()
+	if _, err := Read(bytes.NewReader(make([]byte, 16)), g); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}

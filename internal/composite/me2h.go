@@ -1,0 +1,394 @@
+package composite
+
+import (
+	"sort"
+	"time"
+
+	"adp/internal/costmodel"
+	"adp/internal/graph"
+	"adp/internal/partition"
+	"adp/internal/refine"
+)
+
+// BuildStats reports what a composite build did.
+type BuildStats struct {
+	Budgets    []float64
+	InitShared int // vertices placed identically for every algorithm by Init
+	Assigned   int // whole-vertex VAssign placements
+	SplitEdges int // per-edge EAssign placements
+	Merged     int // MV2H VMerge merges
+	Total      time.Duration
+}
+
+// Options tunes a composite build.
+type Options struct {
+	// NaiveDest disables the GetDest greedy set cover: each algorithm
+	// independently takes the first fragment that fits, scattering
+	// replicas. The fc ablation target.
+	NaiveDest bool
+}
+
+// ME2H builds a composite hybrid partition for the k algorithms
+// modelled by models from the edge-cut partition base (Fig. 6). The
+// input partition is not modified.
+func ME2H(base *partition.Partition, models []costmodel.CostModel, opts Options) (*Composite, *BuildStats, error) {
+	b := newBuilder(base, models)
+	b.naiveDest = opts.NaiveDest
+	start := time.Now()
+
+	// Init (Fig. 7): per input fragment, walk e-cut nodes in BFS order
+	// and keep each one in place for every algorithm whose budget
+	// allows — growing the shared core Ci.
+	for i := 0; i < b.n; i++ {
+		for _, v := range b.bfsOrderCached(i) {
+			if base.Status(i, v) != partition.ECutNode {
+				continue
+			}
+			shared := 0
+			for j := range b.parts {
+				if b.fitsWhole(j, i, v) {
+					b.assignWhole(j, i, v)
+					shared++
+				}
+			}
+			if shared == len(b.parts) {
+				b.stats.InitShared++
+			}
+		}
+	}
+
+	b.rebuildTrackers()
+
+	// VAssign (lines 8-13): route each leftover candidate for the
+	// algorithms that still need it, minimising the number of distinct
+	// destinations via the GetDest greedy set cover.
+	for i := 0; i < b.n; i++ {
+		for _, v := range b.bfsOrderCached(i) {
+			if base.Status(i, v) != partition.ECutNode {
+				continue
+			}
+			b.vAssign(i, v, func(j int, x int) bool { return b.fitsWhole(j, x, v) },
+				func(j, x int) { b.assignWhole(j, x, v) })
+		}
+	}
+
+	b.rebuildTrackers()
+
+	// EAssign (lines 14-18): split what remains edge by edge onto the
+	// cheapest fragment per algorithm.
+	for j := range b.parts {
+		for v := 0; v < b.g.NumVertices(); v++ {
+			vid := graph.VertexID(v)
+			if b.assigned[j][vid] {
+				continue
+			}
+			b.eAssign(j, vid, wholeArcs(b.g, vid))
+		}
+	}
+
+	// MAssign (line 19) per algorithm.
+	for j, p := range b.parts {
+		refine.MAssignOnly(p, b.models[j])
+	}
+	b.stats.Total = time.Since(start)
+
+	comp, err := New(b.g, b.parts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return comp, b.stats, nil
+}
+
+// builder carries the shared state of ME2H/MV2H.
+type builder struct {
+	g        *graph.Graph
+	base     *partition.Partition
+	models   []costmodel.CostModel
+	n        int
+	parts    []*partition.Partition
+	trs      []*costmodel.Tracker
+	budgets  []float64
+	assigned []map[graph.VertexID]bool // per algorithm: vertex fully routed (ME2H)
+	// copyAssigned tracks per-copy routing for MV2H, keyed by
+	// (fragment, vertex).
+	copyAssigned []map[uint64]bool
+	naiveDest    bool
+	bfsCache     map[int][]graph.VertexID
+	stats        *BuildStats
+}
+
+// bfsOrderCached memoises bfsOrder per input fragment: Init and
+// VAssign walk the same order.
+func (b *builder) bfsOrderCached(i int) []graph.VertexID {
+	if b.bfsCache == nil {
+		b.bfsCache = map[int][]graph.VertexID{}
+	}
+	if o, ok := b.bfsCache[i]; ok {
+		return o
+	}
+	o := bfsOrder(b.base, i)
+	b.bfsCache[i] = o
+	return o
+}
+
+// rebuildTrackers re-evaluates every target partition from scratch,
+// clearing the drift the light per-vertex refreshes accumulate.
+func (b *builder) rebuildTrackers() {
+	for j := range b.parts {
+		b.trs[j] = costmodel.NewTracker(b.parts[j], b.models[j])
+	}
+}
+
+func newBuilder(base *partition.Partition, models []costmodel.CostModel) *builder {
+	g := base.Graph()
+	n := base.NumFragments()
+	b := &builder{g: g, base: base, models: models, n: n, stats: &BuildStats{}}
+	for _, m := range models {
+		// Budget Bj = average ChAj over the INPUT partition (line 1),
+		// with 5% slack so that algorithms the input already balances
+		// keep their vertices in place (scattering them would trade
+		// locality for nothing).
+		costs := costmodel.Evaluate(base, m)
+		b.budgets = append(b.budgets, 1.05*costmodel.TotalComp(costs)/float64(n))
+		p := partition.NewEmpty(g, n)
+		b.parts = append(b.parts, p)
+		b.trs = append(b.trs, costmodel.NewTracker(p, m))
+		b.assigned = append(b.assigned, map[graph.VertexID]bool{})
+	}
+	b.stats.Budgets = b.budgets
+	return b
+}
+
+// fitsWhole probes ChAj(F^j_x ∪ (v,Ev)) ≤ Bj for a complete copy.
+func (b *builder) fitsWhole(j, x int, v graph.VertexID) bool {
+	h := b.trs[j].HypotheticalComp(v, b.g.InDegree(v), b.g.OutDegree(v), 0, false)
+	return b.trs[j].Comp(x)+h <= b.budgets[j]
+}
+
+// assignWhole places v with every incident arc into fragment x of
+// partition j.
+func (b *builder) assignWhole(j, x int, v graph.VertexID) {
+	p := b.parts[j]
+	for _, w := range b.g.OutNeighbors(v) {
+		p.AddArc(x, v, w)
+	}
+	for _, w := range b.g.InNeighbors(v) {
+		p.AddArc(x, w, v)
+	}
+	if b.g.OutDegree(v) == 0 && b.g.InDegree(v) == 0 {
+		p.AddVertex(x, v)
+	}
+	p.SetOwner(v, x)
+	_ = p.SetMaster(v, x)
+	b.assigned[j][v] = true
+	// Only the subject vertex is refreshed during the bulk build;
+	// neighbour contributions drift slightly and are reconciled by
+	// rebuildTrackers at the phase boundaries. Exact per-arc refreshes
+	// would cost O(deg·n) per assignment and dominate the build (the
+	// whole point of ME2H is to be cheaper than k separate refiners).
+	b.trs[j].Refresh(v)
+	b.stats.Assigned++
+}
+
+// vAssign implements procedure GetDest (Fig. 7): given the set Ov of
+// algorithms that still need candidate v placed, repeatedly pick the
+// destination fragment accepted by the most remaining algorithms —
+// a greedy minimum set cover that minimises v's replication across
+// the composite and with it fc.
+func (b *builder) vAssign(src int, v graph.VertexID, fits func(j, x int) bool, apply func(j, x int)) {
+	var ov []int
+	for j := range b.parts {
+		if !b.assigned[j][v] {
+			ov = append(ov, j)
+		}
+	}
+	if b.naiveDest {
+		for _, j := range ov {
+			for x := 0; x < b.n; x++ {
+				if fits(j, x) {
+					apply(j, x)
+					break
+				}
+			}
+		}
+		return
+	}
+	for len(ov) > 0 {
+		bestX, bestCover := -1, 0
+		// The source fragment is probed first so that cover ties keep
+		// the candidate where its neighbours are (locality).
+		for _, x := range b.fragOrder(src) {
+			cover := 0
+			for _, j := range ov {
+				if fits(j, x) {
+					cover++
+				}
+			}
+			if cover > bestCover {
+				bestX, bestCover = x, cover
+			}
+		}
+		if bestX < 0 {
+			// No fragment fits any remaining algorithm within budget.
+			// A vertex that would fit an empty fragment still goes
+			// WHOLE to the currently cheapest one (the budgets hover
+			// at the average late in the pass, and shredding such a
+			// vertex via EAssign would destroy locality for nothing);
+			// only genuine over-budget hubs are left for EAssign.
+			for _, j := range ov {
+				// Keep only small vertices whole: a large one would
+				// overload the destination (quadratic-cost algorithms
+				// care), so it is left for EAssign to split.
+				if b.wholeCost(j, v) > 0.25*b.budgets[j] {
+					continue
+				}
+				apply(j, b.argminComp(j))
+			}
+			return
+		}
+		var rest []int
+		for _, j := range ov {
+			if fits(j, bestX) {
+				apply(j, bestX)
+			} else {
+				rest = append(rest, j)
+			}
+		}
+		ov = rest
+	}
+}
+
+// wholeCost is v's hypothetical contribution as a complete copy under
+// model j.
+func (b *builder) wholeCost(j int, v graph.VertexID) float64 {
+	return b.trs[j].HypotheticalComp(v, b.g.InDegree(v), b.g.OutDegree(v), 0, false)
+}
+
+// argminComp returns partition j's cheapest fragment.
+func (b *builder) argminComp(j int) int {
+	best := 0
+	for x := 1; x < b.n; x++ {
+		if b.trs[j].Comp(x) < b.trs[j].Comp(best) {
+			best = x
+		}
+	}
+	return best
+}
+
+// fragOrder yields fragment indices with src first.
+func (b *builder) fragOrder(src int) []int {
+	order := make([]int, 0, b.n)
+	if src >= 0 && src < b.n {
+		order = append(order, src)
+	}
+	for x := 0; x < b.n; x++ {
+		if x != src {
+			order = append(order, x)
+		}
+	}
+	return order
+}
+
+// arcT is one arc to place.
+type arcT struct{ u, w graph.VertexID }
+
+// wholeArcs lists every incident arc of v (canonical single direction
+// for undirected graphs).
+func wholeArcs(g *graph.Graph, v graph.VertexID) []arcT {
+	var arcs []arcT
+	for _, w := range g.OutNeighbors(v) {
+		if g.Undirected() && v > w {
+			continue
+		}
+		arcs = append(arcs, arcT{v, w})
+	}
+	if !g.Undirected() {
+		for _, w := range g.InNeighbors(v) {
+			arcs = append(arcs, arcT{w, v})
+		}
+	} else {
+		for _, w := range g.InNeighbors(v) {
+			if w < v {
+				arcs = append(arcs, arcT{w, v})
+			}
+		}
+	}
+	sort.Slice(arcs, func(a, c int) bool {
+		if arcs[a].u != arcs[c].u {
+			return arcs[a].u < arcs[c].u
+		}
+		return arcs[a].w < arcs[c].w
+	})
+	return arcs
+}
+
+// eAssign splits v's arcs one by one onto the cheapest fragment of
+// partition j.
+func (b *builder) eAssign(j int, v graph.VertexID, arcs []arcT) {
+	p := b.parts[j]
+	tr := b.trs[j]
+	for _, a := range arcs {
+		x := 0
+		for y := 1; y < b.n; y++ {
+			if tr.Comp(y) < tr.Comp(x) {
+				x = y
+			}
+		}
+		p.AddEdge(x, a.u, a.w)
+		refreshTracker(tr, []graph.VertexID{a.u, a.w})
+		b.stats.SplitEdges++
+	}
+	if len(arcs) == 0 && len(p.Copies(v)) == 0 {
+		p.AddVertex(int(v)%b.n, v)
+	}
+	b.assigned[j][v] = true
+}
+
+// bfsOrder walks the non-dummy nodes of base fragment i in BFS order
+// (the locality-preserving order of procedure Init).
+func bfsOrder(base *partition.Partition, i int) []graph.VertexID {
+	f := base.Fragment(i)
+	ids := f.SortedVertices()
+	seen := make(map[graph.VertexID]bool, len(ids))
+	order := make([]graph.VertexID, 0, len(ids))
+	queue := make([]graph.VertexID, 0, len(ids))
+	enqueue := func(v graph.VertexID) {
+		if !seen[v] {
+			seen[v] = true
+			queue = append(queue, v)
+		}
+	}
+	for _, root := range ids {
+		if seen[root] {
+			continue
+		}
+		enqueue(root)
+		for head := len(order); head < len(queue); head++ {
+			v := queue[head]
+			order = append(order, v)
+			adj := f.Adjacency(v)
+			if adj == nil {
+				continue
+			}
+			nbrs := append([]graph.VertexID(nil), adj.Out...)
+			nbrs = append(nbrs, adj.In...)
+			sort.Slice(nbrs, func(a, b int) bool { return nbrs[a] < nbrs[b] })
+			for _, w := range nbrs {
+				if f.Has(w) {
+					enqueue(w)
+				}
+			}
+		}
+	}
+	return order
+}
+
+func refreshTracker(tr *costmodel.Tracker, touched []graph.VertexID) {
+	seen := map[graph.VertexID]bool{}
+	for _, v := range touched {
+		if !seen[v] {
+			seen[v] = true
+			tr.Refresh(v)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package costmodel
+
+import (
+	"adp/internal/graph"
+	"adp/internal/partition"
+)
+
+// FragCost is the estimated cost of one fragment under a cost model:
+// ChA(Fi) (computation over non-dummy copies) and CgA(Fi)
+// (communication over border masters), per Eqs. (2)–(3).
+type FragCost struct {
+	Comp float64
+	Comm float64
+}
+
+// Total returns CA(Fi) = ChA(Fi) + CgA(Fi) (Eq. 1).
+func (c FragCost) Total() float64 { return c.Comp + c.Comm }
+
+// Evaluate computes the per-fragment costs of algorithm model m on
+// partition p by full enumeration.
+func Evaluate(p *partition.Partition, m CostModel) []FragCost {
+	costs := make([]FragCost, p.NumFragments())
+	for i := 0; i < p.NumFragments(); i++ {
+		f := p.Fragment(i)
+		f.Vertices(func(v graph.VertexID, _ *partition.Adj) {
+			switch p.Status(i, v) {
+			case partition.ECutNode, partition.VCutNode:
+				costs[i].Comp += m.H.Eval(Extract(p, i, v))
+			}
+			if p.IsBorder(v) && p.Master(v) == i {
+				costs[i].Comm += m.G.Eval(Extract(p, i, v))
+			}
+		})
+	}
+	return costs
+}
+
+// ParallelCost returns max_i CA(Fi): the quantity ADP minimises.
+func ParallelCost(costs []FragCost) float64 {
+	max := 0.0
+	for _, c := range costs {
+		if t := c.Total(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// TotalComp sums ChA over fragments.
+func TotalComp(costs []FragCost) float64 {
+	s := 0.0
+	for _, c := range costs {
+		s += c.Comp
+	}
+	return s
+}
+
+// LambdaCost returns the cost balance factor λA: the smallest λ with
+// CA(Fi) ≤ (1+λ)·avg for all i (Section 3.1, "balance factor
+// revised").
+func LambdaCost(costs []FragCost) float64 {
+	xs := make([]float64, len(costs))
+	for i, c := range costs {
+		xs[i] = c.Total()
+	}
+	return partition.BalanceFactor(xs)
+}
+
+// Tracker maintains per-fragment Comp/Comm costs of a partition under
+// one cost model incrementally while the partition is mutated. The
+// refiners perform O(|V|+|E|) mutations; recomputing Evaluate after
+// each would be quadratic.
+//
+// Protocol: after every AddArc/RemoveArc/AddEdge/RemoveEdge touching
+// vertices u,v call Refresh(u, v); after SetMaster(v) or SetOwner(v)
+// call Refresh(v). Refresh recomputes those vertices' contributions in
+// all fragments (a vertex's own variables depend only on its own
+// adjacency, copies and status, so this is exact).
+type Tracker struct {
+	p     *partition.Partition
+	m     CostModel
+	comp  []float64
+	comm  []float64
+	vComp map[uint64]float64 // (frag<<32|v) -> current Comp contribution
+	vComm map[uint64]float64
+}
+
+func trackKey(i int, v graph.VertexID) uint64 { return uint64(i)<<32 | uint64(v) }
+
+// NewTracker evaluates p fully and returns a tracker positioned on it.
+func NewTracker(p *partition.Partition, m CostModel) *Tracker {
+	t := &Tracker{
+		p:     p,
+		m:     m,
+		comp:  make([]float64, p.NumFragments()),
+		comm:  make([]float64, p.NumFragments()),
+		vComp: map[uint64]float64{},
+		vComm: map[uint64]float64{},
+	}
+	for i := 0; i < p.NumFragments(); i++ {
+		f := p.Fragment(i)
+		f.Vertices(func(v graph.VertexID, _ *partition.Adj) {
+			t.refreshAt(i, v)
+		})
+	}
+	return t
+}
+
+// Partition returns the partition the tracker is positioned on.
+func (t *Tracker) Partition() *partition.Partition { return t.p }
+
+// Comp returns the tracked ChA(Fi).
+func (t *Tracker) Comp(i int) float64 { return t.comp[i] }
+
+// Comm returns the tracked CgA(Fi).
+func (t *Tracker) Comm(i int) float64 { return t.comm[i] }
+
+// Total returns the tracked CA(Fi).
+func (t *Tracker) Total(i int) float64 { return t.comp[i] + t.comm[i] }
+
+// Costs snapshots the tracked per-fragment costs.
+func (t *Tracker) Costs() []FragCost {
+	out := make([]FragCost, len(t.comp))
+	for i := range out {
+		out[i] = FragCost{Comp: t.comp[i], Comm: t.comm[i]}
+	}
+	return out
+}
+
+// Refresh recomputes the contribution of each vertex in every
+// fragment. Cost O(n) per vertex with n = fragment count.
+func (t *Tracker) Refresh(vs ...graph.VertexID) {
+	for _, v := range vs {
+		for i := 0; i < t.p.NumFragments(); i++ {
+			t.refreshAt(i, v)
+		}
+	}
+}
+
+func (t *Tracker) refreshAt(i int, v graph.VertexID) {
+	k := trackKey(i, v)
+	var nc, nm float64
+	if t.p.Fragment(i).Has(v) {
+		switch t.p.Status(i, v) {
+		case partition.ECutNode, partition.VCutNode:
+			nc = t.m.H.Eval(Extract(t.p, i, v))
+		}
+		if t.p.IsBorder(v) && t.p.Master(v) == i {
+			nm = t.m.G.Eval(Extract(t.p, i, v))
+		}
+	}
+	if old, ok := t.vComp[k]; ok {
+		t.comp[i] -= old
+	}
+	if old, ok := t.vComm[k]; ok {
+		t.comm[i] -= old
+	}
+	if nc != 0 {
+		t.vComp[k] = nc
+		t.comp[i] += nc
+	} else {
+		delete(t.vComp, k)
+	}
+	if nm != 0 {
+		t.vComm[k] = nm
+		t.comm[i] += nm
+	} else {
+		delete(t.vComm, k)
+	}
+}
+
+// Contribution returns v's current tracked Comp contribution inside
+// fragment i (0 when absent or dummy).
+func (t *Tracker) Contribution(i int, v graph.VertexID) float64 {
+	return t.vComp[trackKey(i, v)]
+}
+
+// CommAt evaluates gA for v as if its master were in fragment i — the
+// g_i(v) of MAssign's Eq. (5).
+func (t *Tracker) CommAt(i int, v graph.VertexID) float64 {
+	if !t.p.Fragment(i).Has(v) {
+		return 0
+	}
+	return t.m.G.Eval(Extract(t.p, i, v))
+}
+
+// HypotheticalComp evaluates hA for vertex v as if it lived in
+// fragment i with the given local degrees — the ChA(Fj ∪ {(v,E')})
+// probe of EMigrate/VMigrate, approximated by the moved vertex's own
+// contribution (neighbour second-order deltas are reconciled by the
+// next Refresh).
+func (t *Tracker) HypotheticalComp(v graph.VertexID, localIn, localOut int, repl int, notECut bool) float64 {
+	g := t.p.Graph()
+	var x Vars
+	x[DLIn] = float64(localIn)
+	x[DLOut] = float64(localOut)
+	x[DGIn] = float64(g.InDegree(v))
+	x[DGOut] = float64(g.OutDegree(v))
+	x[Repl] = float64(repl)
+	x[AvgDeg] = g.AvgDegree()
+	if notECut {
+		x[NotECut] = 1
+	}
+	x[VData] = t.p.VertexWeight(v)
+	return t.m.H.Eval(x)
+}

@@ -1,0 +1,102 @@
+package costmodel
+
+import (
+	"errors"
+	"math"
+)
+
+// TrainOLS fits the polynomial basis by closed-form weighted least
+// squares on the relative residual — the deterministic alternative to
+// the SGD trainer. Minimising Σ((h(X)−t)/t)² is ordinary least squares
+// in the scaled design z_ij = f_ij/t_i against the all-ones target,
+// solved via the normal equations with Tikhonov damping for stability.
+//
+// The paper trains by SGD (and so do the experiments here); OLS is
+// offered for users who want a reproducible one-shot fit and as a
+// cross-check on the SGD solution.
+func TrainOLS(terms []Term, data []Sample, ridge float64) (*Model, error) {
+	if len(terms) == 0 {
+		return nil, errors.New("costmodel: empty term basis")
+	}
+	if len(data) == 0 {
+		return nil, errors.New("costmodel: no training samples")
+	}
+	if ridge <= 0 {
+		ridge = 1e-9
+	}
+	k := len(terms)
+	// Normal equations A w = b with A = ZᵀZ + ridge·I, b = Zᵀ1.
+	A := make([][]float64, k)
+	for i := range A {
+		A[i] = make([]float64, k)
+	}
+	b := make([]float64, k)
+	row := make([]float64, k)
+	for _, s := range data {
+		t := math.Max(s.T, 1e-9)
+		for j, term := range terms {
+			row[j] = term.Eval(s.X) / t
+		}
+		for i := 0; i < k; i++ {
+			if row[i] == 0 {
+				continue
+			}
+			b[i] += row[i]
+			for j := i; j < k; j++ {
+				A[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	// Symmetrise and damp.
+	for i := 0; i < k; i++ {
+		for j := 0; j < i; j++ {
+			A[i][j] = A[j][i]
+		}
+		A[i][i] += ridge
+	}
+	w, err := solveGauss(A, b)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Terms: append([]Term(nil), terms...), Weights: w}, nil
+}
+
+// solveGauss solves Ax = b by Gaussian elimination with partial
+// pivoting. A and b are clobbered.
+func solveGauss(A [][]float64, b []float64) ([]float64, error) {
+	n := len(A)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(A[pivot][col]) < 1e-15 {
+			return nil, errors.New("costmodel: singular design matrix (try fewer terms or more data)")
+		}
+		A[col], A[pivot] = A[pivot], A[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / A[col][col]
+		for r := col + 1; r < n; r++ {
+			f := A[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				A[r][c] -= f * A[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= A[r][c] * x[c]
+		}
+		x[r] = sum / A[r][r]
+	}
+	return x, nil
+}

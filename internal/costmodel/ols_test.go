@@ -1,0 +1,72 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTrainOLSRecoversExactModel(t *testing.T) {
+	truth := func(x Vars) float64 { return 2e-4*x[DLIn]*x[DGIn] + 3e-6*x[DLIn] + 1e-6 }
+	data := synthSamples(2000, 5, truth, 0) // noiseless
+	terms := PolyTerms([]VarKind{DLIn, DGIn}, 2)
+	m, err := TrainOLS(terms, data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msre := MSRE(m, data); msre > 1e-6 {
+		t.Fatalf("noiseless OLS MSRE = %v, want ~0", msre)
+	}
+}
+
+func TestTrainOLSMatchesSGDBallpark(t *testing.T) {
+	truth := Reference(CN).H.Eval
+	data := synthSamples(3000, 9, truth, 0.05)
+	train, test := Split(data, 0.8, 1)
+	terms := PolyTerms([]VarKind{DLIn, DGIn}, 2)
+	ols, err := TrainOLS(terms, train, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sgd, err := Train(terms, train, TrainConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo, ms := MSRE(ols, test), MSRE(sgd, test)
+	if mo > 0.11 {
+		t.Fatalf("OLS test MSRE = %v", mo)
+	}
+	// The two fits should land in the same accuracy band.
+	if mo > 5*ms+0.05 && ms > 5*mo+0.05 {
+		t.Fatalf("OLS (%v) and SGD (%v) disagree wildly", mo, ms)
+	}
+}
+
+func TestTrainOLSErrors(t *testing.T) {
+	if _, err := TrainOLS(nil, []Sample{{}}, 0); err == nil {
+		t.Fatal("empty basis accepted")
+	}
+	if _, err := TrainOLS(PolyTerms([]VarKind{DLIn}, 1), nil, 0); err == nil {
+		t.Fatal("empty data accepted")
+	}
+}
+
+func TestSolveGaussSingular(t *testing.T) {
+	// Two identical columns: singular without damping.
+	A := [][]float64{{1, 1}, {1, 1}}
+	b := []float64{1, 1}
+	if _, err := solveGauss(A, b); err == nil {
+		t.Fatal("singular system solved")
+	}
+}
+
+func TestSolveGaussKnownSystem(t *testing.T) {
+	A := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := solveGauss(A, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("solution = %v, want [1 3]", x)
+	}
+}

@@ -1,0 +1,149 @@
+package costmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Term is a monomial over the metric variables: the product of
+// x[k]^Exps[k].
+type Term struct {
+	Exps [NumVars]uint8
+}
+
+// Eval evaluates the monomial on x.
+func (t Term) Eval(x Vars) float64 {
+	v := 1.0
+	for k, e := range t.Exps {
+		for j := uint8(0); j < e; j++ {
+			v *= x[k]
+		}
+	}
+	return v
+}
+
+// Degree returns the total degree of the monomial.
+func (t Term) Degree() int {
+	d := 0
+	for _, e := range t.Exps {
+		d += int(e)
+	}
+	return d
+}
+
+// String renders the monomial, e.g. "dL+*dG+" or "1" for the constant.
+func (t Term) String() string {
+	var parts []string
+	for k, e := range t.Exps {
+		for j := uint8(0); j < e; j++ {
+			parts = append(parts, VarKind(k).String())
+		}
+	}
+	if len(parts) == 0 {
+		return "1"
+	}
+	return strings.Join(parts, "*")
+}
+
+// PolyTerms enumerates every monomial of total degree at most p over
+// the given variables — the expansion Γ of (1 + Σ x_i)^p of Section 4
+// — with the constant term first. Terms are generated in a fixed
+// order, so models built from the same inputs are identical.
+func PolyTerms(vars []VarKind, p int) []Term {
+	var out []Term
+	var cur Term
+	var rec func(idx, remaining int)
+	rec = func(idx, remaining int) {
+		if idx == len(vars) {
+			out = append(out, cur)
+			return
+		}
+		for e := 0; e <= remaining; e++ {
+			cur.Exps[vars[idx]] += uint8(e)
+			rec(idx+1, remaining-e)
+			cur.Exps[vars[idx]] -= uint8(e)
+		}
+	}
+	rec(0, p)
+	// Order by total degree then generation order, constant first.
+	stable := make([]Term, 0, len(out))
+	for d := 0; d <= p; d++ {
+		for _, t := range out {
+			if t.Degree() == d {
+				stable = append(stable, t)
+			}
+		}
+	}
+	return stable
+}
+
+// Model is a learned polynomial cost function hA or gA:
+// Eval(x) = Σ_j Weights[j]·Terms[j](x).
+type Model struct {
+	Terms   []Term
+	Weights []float64
+}
+
+// Eval implements CostFunc.
+func (m *Model) Eval(x Vars) float64 {
+	sum := 0.0
+	for j, t := range m.Terms {
+		sum += m.Weights[j] * t.Eval(x)
+	}
+	return sum
+}
+
+// String renders the polynomial with small weights elided.
+func (m *Model) String() string {
+	var parts []string
+	for j, t := range m.Terms {
+		w := m.Weights[j]
+		if math.Abs(w) < 1e-12 {
+			continue
+		}
+		if t.Degree() == 0 {
+			parts = append(parts, fmt.Sprintf("%.3g", w))
+		} else {
+			parts = append(parts, fmt.Sprintf("%.3g*%s", w, t))
+		}
+	}
+	if len(parts) == 0 {
+		return "0"
+	}
+	return strings.Join(parts, " + ")
+}
+
+// modelJSON is the serialised form: term exponent vectors + weights.
+type modelJSON struct {
+	Terms   [][NumVars]uint8 `json:"terms"`
+	Weights []float64        `json:"weights"`
+}
+
+// MarshalJSON implements json.Marshaler so trained models can be
+// stored beside the repository and reloaded by the partitioner CLIs.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	mj := modelJSON{Weights: m.Weights}
+	for _, t := range m.Terms {
+		mj.Terms = append(mj.Terms, t.Exps)
+	}
+	return json.Marshal(mj)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var mj modelJSON
+	if err := json.Unmarshal(data, &mj); err != nil {
+		return err
+	}
+	if len(mj.Terms) != len(mj.Weights) {
+		return fmt.Errorf("costmodel: %d terms but %d weights", len(mj.Terms), len(mj.Weights))
+	}
+	m.Terms = m.Terms[:0]
+	for _, e := range mj.Terms {
+		m.Terms = append(m.Terms, Term{Exps: e})
+	}
+	m.Weights = mj.Weights
+	return nil
+}

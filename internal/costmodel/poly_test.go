@@ -1,0 +1,142 @@
+package costmodel
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestPolyTermsCount(t *testing.T) {
+	// Monomials of total degree ≤ p over k variables: C(k+p, p).
+	cases := []struct {
+		vars []VarKind
+		p    int
+		want int
+	}{
+		{[]VarKind{DLIn}, 1, 2},
+		{[]VarKind{DLIn}, 2, 3},
+		{[]VarKind{DLIn, DGIn}, 2, 6},
+		{[]VarKind{DLIn, DLOut, DGIn}, 2, 10},
+	}
+	for _, c := range cases {
+		got := PolyTerms(c.vars, c.p)
+		if len(got) != c.want {
+			t.Errorf("PolyTerms(%v,%d) = %d terms, want %d", c.vars, c.p, len(got), c.want)
+		}
+		if got[0].Degree() != 0 {
+			t.Errorf("constant term should come first, got %v", got[0])
+		}
+	}
+}
+
+func TestPolyTermsDeterministic(t *testing.T) {
+	a := PolyTerms([]VarKind{DLIn, DGIn}, 2)
+	b := PolyTerms([]VarKind{DLIn, DGIn}, 2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("PolyTerms not deterministic")
+		}
+	}
+}
+
+func TestTermEval(t *testing.T) {
+	var x Vars
+	x[DLIn] = 3
+	x[DGIn] = 4
+	term := Term{}
+	term.Exps[DLIn] = 2
+	term.Exps[DGIn] = 1
+	if got := term.Eval(x); got != 36 {
+		t.Fatalf("x²y = %v, want 36", got)
+	}
+	if got := (Term{}).Eval(x); got != 1 {
+		t.Fatalf("constant term = %v, want 1", got)
+	}
+}
+
+func TestTermString(t *testing.T) {
+	term := Term{}
+	term.Exps[DLIn] = 1
+	term.Exps[DGIn] = 1
+	if s := term.String(); s != "dL+*dG+" {
+		t.Fatalf("term string = %q", s)
+	}
+	if s := (Term{}).String(); s != "1" {
+		t.Fatalf("constant string = %q", s)
+	}
+}
+
+func TestModelEvalAndString(t *testing.T) {
+	terms := PolyTerms([]VarKind{DLIn}, 1) // [1, dL+]
+	m := &Model{Terms: terms, Weights: []float64{0.5, 2}}
+	var x Vars
+	x[DLIn] = 3
+	if got := m.Eval(x); got != 6.5 {
+		t.Fatalf("model eval = %v, want 6.5", got)
+	}
+	if s := m.String(); s == "" || s == "0" {
+		t.Fatalf("model string = %q", s)
+	}
+}
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	terms := PolyTerms([]VarKind{DLIn, DGIn}, 2)
+	m := &Model{Terms: terms, Weights: make([]float64, len(terms))}
+	for i := range m.Weights {
+		m.Weights[i] = float64(i) * 0.25
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	var x Vars
+	x[DLIn], x[DGIn] = 5, 7
+	if math.Abs(m.Eval(x)-back.Eval(x)) > 1e-12 {
+		t.Fatal("JSON round trip changed the model")
+	}
+}
+
+func TestModelJSONMismatch(t *testing.T) {
+	var m Model
+	if err := json.Unmarshal([]byte(`{"terms":[[0,0,0,0,0,0,0]],"weights":[1,2]}`), &m); err == nil {
+		t.Fatal("mismatched terms/weights accepted")
+	}
+}
+
+func TestReferenceModelsCover(t *testing.T) {
+	for _, a := range Algos() {
+		m := Reference(a)
+		if m.H == nil || m.G == nil {
+			t.Fatalf("%v: nil cost function", a)
+		}
+		var x Vars
+		x[DLIn], x[DLOut], x[DGIn], x[DGOut], x[Repl], x[AvgDeg], x[NotECut] = 10, 10, 20, 20, 2, 8, 1
+		if m.H.Eval(x) <= 0 {
+			t.Errorf("%v: hA non-positive on a busy vertex", a)
+		}
+		if m.G.Eval(x) <= 0 {
+			t.Errorf("%v: gA non-positive on a replicated vertex", a)
+		}
+	}
+}
+
+func TestReferenceWCCCommNonNegative(t *testing.T) {
+	m := Reference(WCC)
+	var x Vars // r = 0
+	if got := m.G.Eval(x); got != 0 {
+		t.Fatalf("gWCC(r=0) = %v, want clamped 0", got)
+	}
+}
+
+func TestAlgoString(t *testing.T) {
+	if CN.String() != "CN" || SSSP.String() != "SSSP" {
+		t.Fatal("algo names wrong")
+	}
+	if Algo(99).String() != "?" {
+		t.Fatal("out-of-range algo name")
+	}
+}

@@ -1,0 +1,69 @@
+package costmodel
+
+import (
+	"math"
+	"sort"
+)
+
+// SelectVars implements the "training cost reduction" remark of
+// Section 4: before expanding a polynomial basis, rank the candidate
+// metric variables by the absolute Pearson correlation between the
+// target cost and the variable (and its square, so quadratic
+// dependencies like CN's d+L·d+G surface), and keep the top maxVars.
+// Variables with no variance in the sample set are dropped outright.
+func SelectVars(data []Sample, candidates []VarKind, maxVars int) []VarKind {
+	if maxVars <= 0 || len(data) == 0 {
+		return nil
+	}
+	type ranked struct {
+		v     VarKind
+		score float64
+	}
+	var rs []ranked
+	for _, v := range candidates {
+		lin := correlation(data, func(s Sample) float64 { return s.X[v] })
+		sq := correlation(data, func(s Sample) float64 { return s.X[v] * s.X[v] })
+		score := math.Max(math.Abs(lin), math.Abs(sq))
+		if math.IsNaN(score) || score == 0 {
+			continue
+		}
+		rs = append(rs, ranked{v, score})
+	}
+	sort.SliceStable(rs, func(a, b int) bool {
+		if rs[a].score != rs[b].score {
+			return rs[a].score > rs[b].score
+		}
+		return rs[a].v < rs[b].v
+	})
+	if len(rs) > maxVars {
+		rs = rs[:maxVars]
+	}
+	out := make([]VarKind, 0, len(rs))
+	for _, r := range rs {
+		out = append(out, r.v)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// correlation computes the Pearson correlation between f(sample) and
+// the sample target. Returns NaN when either side has no variance.
+func correlation(data []Sample, f func(Sample) float64) float64 {
+	n := float64(len(data))
+	var sx, sy, sxx, syy, sxy float64
+	for _, s := range data {
+		x, y := f(s), s.T
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	cov := sxy/n - (sx/n)*(sy/n)
+	vx := sxx/n - (sx/n)*(sx/n)
+	vy := syy/n - (sy/n)*(sy/n)
+	if vx <= 0 || vy <= 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(vx*vy)
+}

@@ -1,0 +1,62 @@
+package costmodel
+
+import (
+	"testing"
+)
+
+func allVars() []VarKind {
+	return []VarKind{DLIn, DLOut, DGIn, DGOut, Repl, AvgDeg, NotECut}
+}
+
+func TestSelectVarsFindsCNDrivers(t *testing.T) {
+	// Targets follow hCN: dominated by d+L·d+G; the out-degree columns
+	// are uncorrelated noise by construction of synthSamples' target.
+	truth := func(x Vars) float64 {
+		return 9.23e-5*x[DLIn]*x[DGIn] + 1.04e-6*x[DLIn] + 1.02e-6
+	}
+	data := synthSamples(3000, 99, truth, 0.05)
+	got := SelectVars(data, allVars(), 2)
+	want := map[VarKind]bool{DLIn: true, DGIn: true}
+	if len(got) != 2 || !want[got[0]] || !want[got[1]] {
+		t.Fatalf("SelectVars picked %v, want {dL+, dG+}", got)
+	}
+}
+
+func TestSelectVarsDropsConstants(t *testing.T) {
+	truth := func(x Vars) float64 { return 1e-4 * x[Repl] }
+	data := synthSamples(1000, 3, truth, 0.02)
+	// AvgDeg is constant (12) in synthSamples: zero variance, must
+	// never be selected.
+	got := SelectVars(data, []VarKind{Repl, AvgDeg}, 2)
+	if len(got) != 1 || got[0] != Repl {
+		t.Fatalf("SelectVars = %v, want just r", got)
+	}
+}
+
+func TestSelectVarsEdgeCases(t *testing.T) {
+	if got := SelectVars(nil, allVars(), 3); got != nil {
+		t.Fatalf("empty data selected %v", got)
+	}
+	data := synthSamples(100, 1, func(x Vars) float64 { return x[DLIn] }, 0)
+	if got := SelectVars(data, allVars(), 0); got != nil {
+		t.Fatalf("maxVars=0 selected %v", got)
+	}
+}
+
+// Selected variables should train as well as the hand-picked ones.
+func TestSelectThenTrainPipeline(t *testing.T) {
+	ref := Reference(PR)
+	data := synthSamples(2000, 21, ref.H.Eval, 0.05)
+	vars := SelectVars(data, allVars(), 1)
+	if len(vars) != 1 || vars[0] != DLIn {
+		t.Fatalf("selected %v, want {dL+}", vars)
+	}
+	train, test := Split(data, 0.8, 2)
+	m, err := Train(PolyTerms(vars, 1), train, TrainConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msre := MSRE(m, test); msre > 0.11 {
+		t.Fatalf("pipeline MSRE = %v", msre)
+	}
+}

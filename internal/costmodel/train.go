@@ -1,0 +1,167 @@
+package costmodel
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// Sample is one training example [X(v_k), t_k] harvested from an
+// algorithm's running log: the metric variables of a vertex and the
+// cost it incurred.
+type Sample struct {
+	X Vars
+	T float64
+}
+
+// TrainConfig controls the SGD trainer.
+type TrainConfig struct {
+	Epochs    int     // passes over the training set (default 60)
+	LearnRate float64 // SGD step size in normalised feature space (default 0.05)
+	L1        float64 // weight of the Σ|ω| over-fitting penalty (default 1e-6)
+	Seed      int64   // shuffle seed
+	MinTarget float64 // clamp for tiny targets in the relative error (default 1e-9)
+}
+
+func (c *TrainConfig) defaults() {
+	if c.Epochs == 0 {
+		c.Epochs = 150
+	}
+	if c.LearnRate == 0 {
+		c.LearnRate = 0.05
+	}
+	if c.L1 == 0 {
+		c.L1 = 1e-6
+	}
+	if c.MinTarget == 0 {
+		c.MinTarget = 1e-9
+	}
+}
+
+// Train fits a polynomial model with the given monomial basis to the
+// samples by stochastic gradient descent on the MSRE objective of
+// Section 4:
+//
+//	min_Ω  (1/|D|) Σ ((h(X) − t)/t)²  +  L1·Σ|ω|
+//
+// Features are max-abs normalised internally so that high-degree terms
+// (d² can reach 10⁸) do not destabilise SGD; the scale is folded back
+// into the returned weights.
+func Train(terms []Term, data []Sample, cfg TrainConfig) (*Model, error) {
+	if len(terms) == 0 {
+		return nil, errors.New("costmodel: empty term basis")
+	}
+	if len(data) == 0 {
+		return nil, errors.New("costmodel: no training samples")
+	}
+	cfg.defaults()
+
+	// Pre-compute the normalised design matrix.
+	k := len(terms)
+	feat := make([][]float64, len(data))
+	scale := make([]float64, k)
+	for j := range scale {
+		scale[j] = 1
+	}
+	// Root-mean-square column scaling: degree features are heavy
+	// tailed on power-law graphs, so max-abs scaling would squash the
+	// bulk of the samples to near-zero and stall SGD.
+	sumSq := make([]float64, k)
+	for i, s := range data {
+		row := make([]float64, k)
+		for j, t := range terms {
+			row[j] = t.Eval(s.X)
+			sumSq[j] += row[j] * row[j]
+		}
+		feat[i] = row
+	}
+	for j := range scale {
+		if rms := math.Sqrt(sumSq[j] / float64(len(data))); rms > 0 {
+			scale[j] = rms
+		}
+	}
+	for i := range feat {
+		for j := range feat[i] {
+			feat[i][j] /= scale[j]
+		}
+	}
+	targets := make([]float64, len(data))
+	for i, s := range data {
+		targets[i] = math.Max(s.T, cfg.MinTarget)
+	}
+
+	// Work in relative space: with z_j = f_j/t the residual is
+	// ρ = Σ w_j z_j − 1 and the MSRE is mean ρ². The update is the
+	// normalised-LMS form of SGD, w_j -= lr·ρ·z_j/(ε+‖z‖²), which is
+	// scale-free: it converges for lr ∈ (0,2) regardless of the unit
+	// of t (the paper's targets are per-vertex milliseconds, ~1e-6).
+	rel := make([][]float64, len(data))
+	norms := make([]float64, len(data))
+	for i := range feat {
+		row := make([]float64, k)
+		var nrm float64
+		for j, f := range feat[i] {
+			row[j] = f / targets[i]
+			nrm += row[j] * row[j]
+		}
+		rel[i] = row
+		norms[i] = nrm
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := make([]float64, k)
+	order := rng.Perm(len(data))
+	lr := math.Min(cfg.LearnRate*10, 0.8) // NLMS tolerates larger steps
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		for _, i := range order {
+			rho := -1.0
+			for j, z := range rel[i] {
+				rho += w[j] * z
+			}
+			scale := lr * rho / (1e-12 + norms[i])
+			for j, z := range rel[i] {
+				w[j] -= scale * z
+				// Proximal L1 shrinkage toward zero.
+				if l1 := lr * cfg.L1; w[j] > l1 {
+					w[j] -= l1
+				} else if w[j] < -l1 {
+					w[j] += l1
+				} else {
+					w[j] = 0
+				}
+			}
+		}
+	}
+	// Fold normalisation back into the weights.
+	weights := make([]float64, k)
+	for j := range w {
+		weights[j] = w[j] / scale[j]
+	}
+	return &Model{Terms: append([]Term(nil), terms...), Weights: weights}, nil
+}
+
+// MSRE computes the mean squared relative error of a cost function on
+// the samples — the accuracy metric of Table 5.
+func MSRE(f CostFunc, data []Sample) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range data {
+		t := math.Max(s.T, 1e-9)
+		rel := (f.Eval(s.X) - t) / t
+		sum += rel * rel
+	}
+	return sum / float64(len(data))
+}
+
+// Split partitions the samples into train/test sets with the given
+// training fraction (the paper uses 80/20), shuffling with the seed.
+func Split(data []Sample, trainFrac float64, seed int64) (train, test []Sample) {
+	rng := rand.New(rand.NewSource(seed))
+	shuffled := append([]Sample(nil), data...)
+	rng.Shuffle(len(shuffled), func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
+	cut := int(float64(len(shuffled)) * trainFrac)
+	return shuffled[:cut], shuffled[cut:]
+}

@@ -1,0 +1,157 @@
+package costmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synthSamples draws samples whose target follows a known polynomial
+// of the metric variables, with multiplicative noise — a stand-in for
+// the per-vertex timings of a running log.
+func synthSamples(n int, seed int64, f func(x Vars) float64, noise float64) []Sample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		var x Vars
+		x[DLIn] = float64(rng.Intn(200) + 1)
+		x[DLOut] = float64(rng.Intn(200) + 1)
+		x[DGIn] = x[DLIn] + float64(rng.Intn(100))
+		x[DGOut] = x[DLOut] + float64(rng.Intn(100))
+		x[Repl] = float64(rng.Intn(5))
+		x[AvgDeg] = 12
+		if rng.Intn(2) == 0 {
+			x[NotECut] = 1
+		}
+		t := f(x) * (1 + noise*(rng.Float64()*2-1))
+		out = append(out, Sample{X: x, T: t})
+	}
+	return out
+}
+
+func TestTrainRecoversCNShape(t *testing.T) {
+	truth := func(x Vars) float64 {
+		return 9.23e-5*x[DLIn]*x[DGIn] + 1.04e-6*x[DLIn] + 1.02e-6
+	}
+	data := synthSamples(4000, 17, truth, 0.05)
+	train, test := Split(data, 0.8, 1)
+	vars, degree := LearnableVars(CN)
+	m, err := Train(PolyTerms(vars, degree), train, TrainConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msre := MSRE(m, test); msre > 0.11 {
+		t.Fatalf("test MSRE = %v, want ≤ 0.11 (the paper's worst case)", msre)
+	}
+	// The dL+·dG+ cross term must dominate: find its weight.
+	var crossWeight, maxOther float64
+	for j, term := range m.Terms {
+		if term.Exps[DLIn] == 1 && term.Exps[DGIn] == 1 {
+			crossWeight = m.Weights[j]
+		} else if term.Degree() > 0 {
+			if a := math.Abs(m.Weights[j]); a > maxOther {
+				maxOther = a
+			}
+		}
+	}
+	if crossWeight < 5e-5 {
+		t.Fatalf("cross-term weight %v, want ≈ 9.23e-5", crossWeight)
+	}
+	_ = maxOther
+}
+
+func TestTrainLinearModels(t *testing.T) {
+	for _, a := range []Algo{WCC, PR, SSSP} {
+		ref := Reference(a)
+		data := synthSamples(2500, 5+int64(a), ref.H.Eval, 0.05)
+		train, test := Split(data, 0.8, 3)
+		vars, degree := LearnableVars(a)
+		m, err := Train(PolyTerms(vars, degree), train, TrainConfig{Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msre := MSRE(m, test); msre > 0.11 {
+			t.Errorf("%v: test MSRE = %v, want ≤ 0.11", a, msre)
+		}
+	}
+}
+
+func TestTrainCommModels(t *testing.T) {
+	for _, a := range []Algo{PR, SSSP, TC} {
+		ref := Reference(a)
+		// Communication samples only exist for replicated masters.
+		raw := synthSamples(3000, 31+int64(a), ref.G.Eval, 0.05)
+		data := raw[:0]
+		for _, s := range raw {
+			if s.X[Repl] >= 1 && s.T > 0 {
+				data = append(data, s)
+			}
+		}
+		train, test := Split(data, 0.8, 7)
+		vars, degree := LearnableCommVars(a)
+		m, err := Train(PolyTerms(vars, degree), train, TrainConfig{Seed: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msre := MSRE(m, test); msre > 0.11 {
+			t.Errorf("%v: comm test MSRE = %v, want ≤ 0.11", a, msre)
+		}
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, []Sample{{}}, TrainConfig{}); err == nil {
+		t.Fatal("empty basis accepted")
+	}
+	if _, err := Train(PolyTerms([]VarKind{DLIn}, 1), nil, TrainConfig{}); err == nil {
+		t.Fatal("empty data accepted")
+	}
+}
+
+func TestMSREZeroForPerfectModel(t *testing.T) {
+	f := Func(func(x Vars) float64 { return 3 * x[DLIn] })
+	data := []Sample{}
+	for i := 1; i <= 10; i++ {
+		var x Vars
+		x[DLIn] = float64(i)
+		data = append(data, Sample{X: x, T: 3 * float64(i)})
+	}
+	if got := MSRE(f, data); got != 0 {
+		t.Fatalf("MSRE of exact model = %v", got)
+	}
+	if got := MSRE(f, nil); got != 0 {
+		t.Fatalf("MSRE of empty set = %v", got)
+	}
+}
+
+func TestSplitFractions(t *testing.T) {
+	data := make([]Sample, 100)
+	for i := range data {
+		data[i].T = float64(i)
+	}
+	train, test := Split(data, 0.8, 9)
+	if len(train) != 80 || len(test) != 20 {
+		t.Fatalf("split = %d/%d", len(train), len(test))
+	}
+	// Every element appears exactly once across the two halves.
+	seen := map[float64]bool{}
+	for _, s := range append(append([]Sample{}, train...), test...) {
+		if seen[s.T] {
+			t.Fatal("duplicate after split")
+		}
+		seen[s.T] = true
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	truth := func(x Vars) float64 { return 1e-4*x[DLIn] + 1e-5 }
+	data := synthSamples(500, 3, truth, 0.02)
+	terms := PolyTerms([]VarKind{DLIn}, 1)
+	m1, _ := Train(terms, data, TrainConfig{Seed: 5})
+	m2, _ := Train(terms, data, TrainConfig{Seed: 5})
+	for j := range m1.Weights {
+		if m1.Weights[j] != m2.Weights[j] {
+			t.Fatal("training not deterministic for fixed seed")
+		}
+	}
+}

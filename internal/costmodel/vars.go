@@ -1,0 +1,98 @@
+// Package costmodel implements the paper's cost model (Section 3.1)
+// and its learning pipeline (Section 4): per-vertex metric variables
+// X(v), polynomial cost functions hA/gA over X, SGD training with an
+// MSRE loss and L1 penalty, and evaluation of a partition's
+// computational and communication cost (the quantities the
+// partitioners of Sections 5–6 are driven by).
+package costmodel
+
+import (
+	"adp/internal/graph"
+	"adp/internal/partition"
+)
+
+// VarKind enumerates the metric variables of Eq. (4) plus the e-cut
+// indicator I(v) the paper adds for TC's communication function.
+type VarKind int
+
+const (
+	// DLIn is d+L(v): v's in-degree in the fragment.
+	DLIn VarKind = iota
+	// DLOut is d-L(v): v's out-degree in the fragment.
+	DLOut
+	// DGIn is d+G(v): v's in-degree in G.
+	DGIn
+	// DGOut is d-G(v): v's out-degree in G.
+	DGOut
+	// Repl is r(v): the number of mirror copies of v.
+	Repl
+	// AvgDeg is D: the constant average degree of G.
+	AvgDeg
+	// NotECut is I(v): 1 when this copy of v is not an e-cut node
+	// (v-cut or dummy), 0 otherwise. Used by gTC.
+	NotECut
+	// VData is the per-vertex data size |Ary| of the Section-3.1
+	// remark ("the vertex data size plays a role in determining the
+	// input size... and hence should also be included in X"). Defaults
+	// to 1; populated via partition.SetVertexWeight.
+	VData
+
+	// NumVars is the size of the variable set.
+	NumVars
+)
+
+var varNames = [NumVars]string{"dL+", "dL-", "dG+", "dG-", "r", "D", "I", "|Ary|"}
+
+func (k VarKind) String() string {
+	if k < 0 || k >= NumVars {
+		return "?"
+	}
+	return varNames[k]
+}
+
+// Vars is one vertex copy's metric-variable assignment X(v).
+type Vars [NumVars]float64
+
+// Extract computes X(v) for the copy of v inside fragment i of p.
+// For undirected graphs the in/out pairs coincide by construction.
+func Extract(p *partition.Partition, i int, v graph.VertexID) Vars {
+	var x Vars
+	g := p.Graph()
+	x[DGIn] = float64(g.InDegree(v))
+	x[DGOut] = float64(g.OutDegree(v))
+	x[Repl] = float64(p.Replication(v))
+	x[AvgDeg] = g.AvgDegree()
+	if adj := p.Fragment(i).Adjacency(v); adj != nil {
+		x[DLIn] = float64(len(adj.In))
+		x[DLOut] = float64(len(adj.Out))
+	}
+	if p.Status(i, v) != partition.ECutNode {
+		x[NotECut] = 1
+	}
+	x[VData] = p.VertexWeight(v)
+	return x
+}
+
+// CostFunc estimates the cost a vertex copy incurs from its metric
+// variables. Both learned Models and the paper's analytic reference
+// functions implement it.
+type CostFunc interface {
+	Eval(x Vars) float64
+}
+
+// Func adapts a plain function to a CostFunc.
+type Func func(x Vars) float64
+
+// Eval implements CostFunc.
+func (f Func) Eval(x Vars) float64 { return f(x) }
+
+// Zero is the all-zero cost function, useful when an algorithm incurs
+// no communication (or when only one of hA/gA is under study).
+var Zero CostFunc = Func(func(Vars) float64 { return 0 })
+
+// CostModel pairs the computation and communication cost functions of
+// one algorithm.
+type CostModel struct {
+	H CostFunc // hA: computational cost per non-dummy vertex copy
+	G CostFunc // gA: communication cost per border master
+}

@@ -1,0 +1,368 @@
+// Package engine is the shared-nothing BSP execution substrate this
+// reproduction substitutes for the paper's 32-machine GRAPE cluster
+// (see DESIGN.md). A Cluster runs one worker goroutine per fragment
+// under superstep barriers; workers exchange typed messages through a
+// bus that counts messages and bytes. The engine reports both wall
+// time and a deterministic simulated parallel cost: per superstep the
+// critical path is the maximum per-worker work plus the maximum
+// per-worker communication volume, mirroring how a synchronous BSP
+// round costs max(compute) + max(comm).
+//
+// The engine also records per-vertex computation and communication
+// work, which is exactly the "running log" Section 4 harvests training
+// samples [X(v), t(v)] from.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"adp/internal/graph"
+	"adp/internal/partition"
+)
+
+// Message is one unit of communication between workers. V names the
+// subject vertex; Data carries numeric payload and Adj carries
+// adjacency payload (for the neighbourhood-exchange algorithms).
+type Message struct {
+	V    graph.VertexID
+	Kind uint8
+	Data []float64
+	Adj  []graph.VertexID
+}
+
+// Size estimates the wire size of the message in bytes.
+func (m Message) Size() int64 {
+	return 8 + 8*int64(len(m.Data)) + 4*int64(len(m.Adj))
+}
+
+// StepFunc advances one worker by one superstep. inbox holds the
+// messages addressed to this worker during the previous superstep
+// (grouped by sending worker in ascending order). Returning true
+// votes to halt; the run stops when every worker votes to halt in the
+// same superstep and no messages are in flight.
+type StepFunc func(w *WorkerCtx, superstep int, inbox []Message) (halt bool)
+
+// Report aggregates the execution statistics of one Run.
+type Report struct {
+	Supersteps int
+	WallTime   time.Duration
+	// Work[i] is worker i's accumulated work units over the run.
+	Work []float64
+	// MsgCount[i] / MsgBytes[i] count messages/bytes sent by worker i.
+	MsgCount []int64
+	MsgBytes []int64
+	// CriticalWork is Σ over supersteps of max-per-worker work — the
+	// BSP compute critical path.
+	CriticalWork float64
+	// CriticalBytes is Σ over supersteps of max-per-worker sent
+	// bytes — the BSP communication critical path.
+	CriticalBytes float64
+}
+
+// DefaultBytesWeight converts a communicated byte into work units for
+// SimCost: chosen so that shipping one adjacency entry costs a few
+// elementary compute operations, like a 10Gbps NIC against a 2GHz
+// core.
+const DefaultBytesWeight = 0.25
+
+// SimCost is the deterministic simulated parallel runtime:
+// compute critical path + weighted communication critical path. The
+// Fig. 9 benches report this quantity (in work units).
+func (r *Report) SimCost(bytesWeight float64) float64 {
+	return r.CriticalWork + bytesWeight*r.CriticalBytes
+}
+
+// String summarises the report on one line.
+func (r *Report) String() string {
+	return fmt.Sprintf("report{steps=%d critWork=%.4g critBytes=%.4g wall=%v}",
+		r.Supersteps, r.CriticalWork, r.CriticalBytes, r.WallTime.Round(time.Millisecond))
+}
+
+// TotalMsgBytes sums sent bytes over workers.
+func (r *Report) TotalMsgBytes() int64 {
+	var s int64
+	for _, b := range r.MsgBytes {
+		s += b
+	}
+	return s
+}
+
+// Cluster executes BSP programs over a hybrid partition.
+type Cluster struct {
+	p       *partition.Partition
+	n       int
+	workers []*WorkerCtx
+	// foreignArc[i] marks local arcs of fragment i that a lower
+	// fragment also stores; the arc-responsibility dedup below.
+	foreignArc []map[uint64]bool
+	// computeFrag[v] is the fragment of v's e-cut node, or -1 when v
+	// is v-cut (computation split across copies).
+	computeFrag []int32
+
+	recordCosts bool
+}
+
+// NewCluster prepares a cluster over p. The partition must not be
+// mutated while the cluster is in use.
+func NewCluster(p *partition.Partition) *Cluster {
+	c := &Cluster{p: p, n: p.NumFragments()}
+	c.buildResponsibility()
+	c.workers = make([]*WorkerCtx, c.n)
+	for i := 0; i < c.n; i++ {
+		c.workers[i] = &WorkerCtx{cluster: c, id: i}
+	}
+	return c
+}
+
+// EnableCostRecording makes workers keep per-vertex compute and
+// communication work, harvested later via HarvestSamples.
+func (c *Cluster) EnableCostRecording() {
+	c.recordCosts = true
+	for _, w := range c.workers {
+		w.vertexComp = map[graph.VertexID]float64{}
+		w.vertexComm = map[graph.VertexID]float64{}
+	}
+}
+
+// Partition returns the partition the cluster executes over.
+func (c *Cluster) Partition() *partition.Partition { return c.p }
+
+// Worker returns worker i, e.g. to read algorithm state after a run.
+func (c *Cluster) Worker(i int) *WorkerCtx { return c.workers[i] }
+
+// buildResponsibility computes, for every replicated arc, which
+// fragments are NOT responsible for it (every arc's responsible owner
+// is its lowest-id holder), plus each vertex's compute fragment.
+// Algorithms that must process each arc of G exactly once filter
+// through ResponsibleFor.
+func (c *Cluster) buildResponsibility() {
+	seen := make(map[uint64]bool, c.p.Graph().NumEdges())
+	c.foreignArc = make([]map[uint64]bool, c.n)
+	for i := 0; i < c.n; i++ {
+		c.foreignArc[i] = map[uint64]bool{}
+		f := c.p.Fragment(i)
+		f.Vertices(func(v graph.VertexID, adj *partition.Adj) {
+			for _, w := range adj.Out {
+				k := uint64(v)<<32 | uint64(w)
+				if seen[k] {
+					c.foreignArc[i][k] = true
+				} else {
+					seen[k] = true
+				}
+			}
+		})
+	}
+	nv := c.p.Graph().NumVertices()
+	c.computeFrag = make([]int32, nv)
+	for v := 0; v < nv; v++ {
+		c.computeFrag[v] = -1
+		for _, i := range c.p.Copies(graph.VertexID(v)) {
+			if c.p.Status(int(i), graph.VertexID(v)) == partition.ECutNode {
+				c.computeFrag[v] = i
+				break
+			}
+		}
+	}
+}
+
+// Run executes the program: init once per worker, then supersteps of
+// step until every worker halts with no messages in flight, or
+// maxSupersteps is reached.
+func (c *Cluster) Run(init func(w *WorkerCtx), step StepFunc, maxSupersteps int) (*Report, error) {
+	start := time.Now()
+	rep := &Report{
+		Work:     make([]float64, c.n),
+		MsgCount: make([]int64, c.n),
+		MsgBytes: make([]int64, c.n),
+	}
+	for _, w := range c.workers {
+		w.reset()
+	}
+	if init != nil {
+		c.parallel(func(w *WorkerCtx) { init(w) })
+	}
+	inboxes := make([][]Message, c.n)
+	for s := 0; s < maxSupersteps; s++ {
+		halts := make([]bool, c.n)
+		c.parallel(func(w *WorkerCtx) {
+			w.stepWork = 0
+			w.stepBytes = 0
+			halts[w.id] = step(w, s, inboxes[w.id])
+		})
+		rep.Supersteps = s + 1
+		// Collect per-superstep critical path and route messages.
+		var maxWork float64
+		var maxBytes int64
+		inflight := false
+		for i, w := range c.workers {
+			if w.stepWork > maxWork {
+				maxWork = w.stepWork
+			}
+			if w.stepBytes > maxBytes {
+				maxBytes = w.stepBytes
+			}
+			rep.Work[i] += w.stepWork
+			inboxes[i] = nil
+		}
+		rep.CriticalWork += maxWork
+		rep.CriticalBytes += float64(maxBytes)
+		for _, w := range c.workers {
+			for dst, msgs := range w.outbox {
+				if len(msgs) > 0 {
+					inflight = true
+					inboxes[dst] = append(inboxes[dst], msgs...)
+					rep.MsgCount[w.id] += int64(len(msgs))
+					for _, m := range msgs {
+						rep.MsgBytes[w.id] += m.Size()
+					}
+				}
+				w.outbox[dst] = nil
+			}
+		}
+		allHalt := true
+		for _, h := range halts {
+			if !h {
+				allHalt = false
+				break
+			}
+		}
+		if allHalt && !inflight {
+			rep.WallTime = time.Since(start)
+			return rep, nil
+		}
+	}
+	rep.WallTime = time.Since(start)
+	return rep, fmt.Errorf("engine: no convergence within %d supersteps", maxSupersteps)
+}
+
+func (c *Cluster) parallel(fn func(w *WorkerCtx)) {
+	var wg sync.WaitGroup
+	wg.Add(c.n)
+	for _, w := range c.workers {
+		go func(w *WorkerCtx) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// WorkerCtx is one BSP worker bound to a fragment. All methods must
+// only be called from the worker's own goroutine during init/step.
+type WorkerCtx struct {
+	cluster *Cluster
+	id      int
+
+	outbox    [][]Message
+	stepWork  float64
+	stepBytes int64
+
+	vertexComp map[graph.VertexID]float64
+	vertexComm map[graph.VertexID]float64
+
+	// State is scratch space owned by the running algorithm.
+	State any
+}
+
+func (w *WorkerCtx) reset() {
+	w.outbox = make([][]Message, w.cluster.n)
+	w.State = nil
+	if w.vertexComp != nil {
+		w.vertexComp = map[graph.VertexID]float64{}
+		w.vertexComm = map[graph.VertexID]float64{}
+	}
+}
+
+// ID returns the worker (= fragment) index.
+func (w *WorkerCtx) ID() int { return w.id }
+
+// NumWorkers returns the cluster size n.
+func (w *WorkerCtx) NumWorkers() int { return w.cluster.n }
+
+// Fragment returns the fragment this worker hosts.
+func (w *WorkerCtx) Fragment() *partition.Fragment { return w.cluster.p.Fragment(w.id) }
+
+// Partition returns the partition (read-only: structural queries such
+// as Master/Copies/Status are allowed; mutation is not).
+func (w *WorkerCtx) Partition() *partition.Partition { return w.cluster.p }
+
+// Graph returns the underlying graph (read-only).
+func (w *WorkerCtx) Graph() *graph.Graph { return w.cluster.p.Graph() }
+
+// Responsible reports whether this worker owns the arc (u,v): it holds
+// the arc and no lower-id fragment does. Each arc of G is responsible
+// at exactly one worker, which is how replicated arcs are processed
+// exactly once.
+func (w *WorkerCtx) Responsible(u, v graph.VertexID) bool {
+	if !w.Fragment().HasArc(u, v) {
+		return false
+	}
+	return !w.cluster.foreignArc[w.id][uint64(u)<<32|uint64(v)]
+}
+
+// ResponsibleFor reports whether this worker processes the arc (u,v)
+// on behalf of subject's per-vertex aggregation. Computation follows
+// the paper's placement rule: an e-cut vertex computes at its e-cut
+// node (which holds every incident arc, replicas included), while a
+// v-cut vertex's work is split across its copies with replicated arcs
+// deduplicated to the lowest holder. Exactly one worker is responsible
+// per (subject, arc) pair, and migrating or splitting the subject
+// moves its work accordingly.
+func (w *WorkerCtx) ResponsibleFor(subject, u, v graph.VertexID) bool {
+	if !w.Fragment().HasArc(u, v) {
+		return false
+	}
+	if cf := w.cluster.computeFrag[subject]; cf >= 0 {
+		return int(cf) == w.id
+	}
+	return !w.cluster.foreignArc[w.id][uint64(u)<<32|uint64(v)]
+}
+
+// Send enqueues a message for worker dst, delivered next superstep.
+// Messages to self are free of charge on the wire but still counted.
+func (w *WorkerCtx) Send(dst int, m Message) {
+	w.outbox[dst] = append(w.outbox[dst], m)
+	if dst != w.id {
+		w.stepBytes += m.Size()
+	}
+}
+
+// Mirrors returns the fragments holding copies of v other than this
+// worker.
+func (w *WorkerCtx) Mirrors(v graph.VertexID) []int {
+	var out []int
+	for _, c := range w.cluster.p.Copies(v) {
+		if int(c) != w.id {
+			out = append(out, int(c))
+		}
+	}
+	return out
+}
+
+// IsMaster reports whether this worker hosts v's master copy.
+func (w *WorkerCtx) IsMaster(v graph.VertexID) bool {
+	return w.cluster.p.Master(v) == w.id
+}
+
+// AddWork charges units of computation to this worker in the current
+// superstep.
+func (w *WorkerCtx) AddWork(units float64) { w.stepWork += units }
+
+// ChargeVertex charges compute work to the worker and attributes it to
+// vertex v for the training log.
+func (w *WorkerCtx) ChargeVertex(v graph.VertexID, units float64) {
+	w.stepWork += units
+	if w.vertexComp != nil {
+		w.vertexComp[v] += units
+	}
+}
+
+// ChargeVertexComm attributes communication work to vertex v for the
+// training log (wire accounting happens in Send).
+func (w *WorkerCtx) ChargeVertexComm(v graph.VertexID, units float64) {
+	if w.vertexComm != nil {
+		w.vertexComm[v] += units
+	}
+}

@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"sort"
+
+	"adp/internal/costmodel"
+	"adp/internal/graph"
+	"adp/internal/partition"
+)
+
+// HarvestSamples converts the per-vertex work recorded during the last
+// run into cost-model training samples: computation samples for every
+// charged non-dummy copy, and communication samples for every charged
+// border master — precisely the sampling rule of Section 4 ("we only
+// pick vertices that are used in computation" / "we only collect the
+// communication cost of master nodes on fragment borders").
+//
+// EnableCostRecording must have been called before Run.
+func (c *Cluster) HarvestSamples() (comp, comm []costmodel.Sample) {
+	if !c.recordCosts {
+		return nil, nil
+	}
+	for i, w := range c.workers {
+		for _, v := range sortedKeys(w.vertexComp) {
+			units := w.vertexComp[v]
+			if units <= 0 {
+				continue
+			}
+			switch c.p.Status(i, v) {
+			case partition.ECutNode, partition.VCutNode:
+				comp = append(comp, costmodel.Sample{X: costmodel.Extract(c.p, i, v), T: units})
+			}
+		}
+		for _, v := range sortedKeys(w.vertexComm) {
+			units := w.vertexComm[v]
+			if units <= 0 {
+				continue
+			}
+			if c.p.IsBorder(v) && c.p.Master(v) == i {
+				comm = append(comm, costmodel.Sample{X: costmodel.Extract(c.p, i, v), T: units})
+			}
+		}
+	}
+	return comp, comm
+}
+
+func sortedKeys(m map[graph.VertexID]float64) []graph.VertexID {
+	keys := make([]graph.VertexID, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	return keys
+}

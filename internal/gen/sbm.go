@@ -1,0 +1,58 @@
+package gen
+
+import (
+	"math/rand"
+
+	"adp/internal/graph"
+)
+
+// SBMConfig parameterises a stochastic block model: k communities of
+// equal size with dense intra-community and sparse inter-community
+// edges — the planted-partition structure that locality-seeking
+// partitioners (NE, multilevel, label propagation) exploit.
+type SBMConfig struct {
+	Communities   int     // k
+	CommunitySize int     // vertices per community
+	IntraDeg      float64 // expected within-community degree
+	InterDeg      float64 // expected cross-community degree
+	Directed      bool
+	Seed          int64
+}
+
+// SBM generates a stochastic-block-model graph.
+func SBM(cfg SBMConfig) *graph.Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Communities * cfg.CommunitySize
+	var b *graph.Builder
+	if cfg.Directed {
+		b = graph.NewBuilder(n)
+	} else {
+		b = graph.NewUndirectedBuilder(n)
+	}
+	pickIn := func(c int) graph.VertexID {
+		return graph.VertexID(c*cfg.CommunitySize + rng.Intn(cfg.CommunitySize))
+	}
+	intra := int(float64(n) * cfg.IntraDeg)
+	for i := 0; i < intra; i++ {
+		c := rng.Intn(cfg.Communities)
+		u, v := pickIn(c), pickIn(c)
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	inter := int(float64(n) * cfg.InterDeg)
+	for i := 0; i < inter; i++ {
+		c1 := rng.Intn(cfg.Communities)
+		c2 := rng.Intn(cfg.Communities)
+		if c1 == c2 {
+			c2 = (c2 + 1) % cfg.Communities
+		}
+		b.AddEdge(pickIn(c1), pickIn(c2))
+	}
+	return b.MustBuild()
+}
+
+// Community returns the planted community of v under the given config.
+func (cfg SBMConfig) Community(v graph.VertexID) int {
+	return int(v) / cfg.CommunitySize
+}

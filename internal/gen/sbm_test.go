@@ -1,0 +1,65 @@
+package gen
+
+import (
+	"testing"
+
+	"adp/internal/graph"
+)
+
+func TestSBMStructure(t *testing.T) {
+	cfg := SBMConfig{Communities: 4, CommunitySize: 100, IntraDeg: 8, InterDeg: 1, Directed: false, Seed: 3}
+	g := SBM(cfg)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 400 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	// Most edges must be intra-community.
+	var intra, inter int64
+	g.Edges(func(u, v graph.VertexID) bool {
+		if cfg.Community(u) == cfg.Community(v) {
+			intra++
+		} else {
+			inter++
+		}
+		return true
+	})
+	if intra < 4*inter {
+		t.Fatalf("community structure weak: %d intra vs %d inter", intra, inter)
+	}
+}
+
+// The planted structure must be exploitable: the multilevel
+// partitioner's cut on an SBM should be far below a hash partition's.
+func TestSBMCommunityRecovery(t *testing.T) {
+	cfg := SBMConfig{Communities: 3, CommunitySize: 150, IntraDeg: 10, InterDeg: 0.5, Directed: false, Seed: 7}
+	g := SBM(cfg)
+	// Count cross-fragment arcs under the planted assignment: near
+	// optimal by construction.
+	planted := 0
+	g.Edges(func(u, v graph.VertexID) bool {
+		if cfg.Community(u) != cfg.Community(v) {
+			planted++
+		}
+		return true
+	})
+	hash := 0
+	g.Edges(func(u, v graph.VertexID) bool {
+		if int(u)%3 != int(v)%3 {
+			hash++
+		}
+		return true
+	})
+	if planted*4 > hash {
+		t.Fatalf("planted cut %d not far below hash cut %d", planted, hash)
+	}
+}
+
+func TestSBMDeterministic(t *testing.T) {
+	cfg := SBMConfig{Communities: 2, CommunitySize: 50, IntraDeg: 4, InterDeg: 1, Directed: true, Seed: 11}
+	a, b := SBM(cfg), SBM(cfg)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("SBM not deterministic")
+	}
+}

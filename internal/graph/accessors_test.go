@@ -1,0 +1,33 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGraphString(t *testing.T) {
+	g := mustGraph(t, 3, []Edge{{0, 1}}, false)
+	if s := g.String(); !strings.Contains(s, "directed") || !strings.Contains(s, "|V|=3") {
+		t.Fatalf("String() = %q", s)
+	}
+	u := mustGraph(t, 2, []Edge{{0, 1}}, true)
+	if s := u.String(); !strings.Contains(s, "undirected") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestNumPendingEdges(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 1)
+	if got := b.NumPendingEdges(); got != 2 {
+		t.Fatalf("NumPendingEdges = %d (pre-dedup count expected)", got)
+	}
+}
+
+func TestNumUndirectedEdgesDirectedGraph(t *testing.T) {
+	g := mustGraph(t, 3, []Edge{{0, 1}, {1, 2}}, false)
+	if got := g.NumUndirectedEdges(); got != 2 {
+		t.Fatalf("directed NumUndirectedEdges = %d, want arc count", got)
+	}
+}

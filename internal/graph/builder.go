@@ -1,0 +1,153 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and constructs an immutable Graph.
+// Builders are not safe for concurrent use.
+type Builder struct {
+	n          int
+	edges      []Edge
+	undirected bool
+	keepLoops  bool
+}
+
+// NewBuilder returns a Builder for a directed graph over n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// NewUndirectedBuilder returns a Builder that symmetrises every added
+// edge, producing a Graph with Undirected() == true.
+func NewUndirectedBuilder(n int) *Builder {
+	return &Builder{n: n, undirected: true}
+}
+
+// KeepSelfLoops makes Build retain self loops, which are dropped by
+// default (none of the paper's algorithms are defined on them).
+func (b *Builder) KeepSelfLoops() *Builder {
+	b.keepLoops = true
+	return b
+}
+
+// AddEdge records the arc (u,v); for undirected builders the reverse
+// arc is implied. Duplicate edges are removed at Build time.
+func (b *Builder) AddEdge(u, v VertexID) {
+	b.edges = append(b.edges, Edge{u, v})
+}
+
+// NumPendingEdges reports how many arcs have been added so far
+// (before dedup, excluding implied reverse arcs).
+func (b *Builder) NumPendingEdges() int { return len(b.edges) }
+
+// Build constructs the Graph. It deduplicates edges, drops self loops
+// (unless KeepSelfLoops), sorts adjacency lists, and verifies vertex
+// ranges.
+func (b *Builder) Build() (*Graph, error) {
+	for _, e := range b.edges {
+		if int(e.Src) >= b.n || int(e.Dst) >= b.n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range for n=%d", e.Src, e.Dst, b.n)
+		}
+	}
+	arcs := make([]Edge, 0, len(b.edges)*2)
+	for _, e := range b.edges {
+		if e.Src == e.Dst && !b.keepLoops {
+			continue
+		}
+		arcs = append(arcs, e)
+		if b.undirected && e.Src != e.Dst {
+			arcs = append(arcs, Edge{e.Dst, e.Src})
+		}
+	}
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].Src != arcs[j].Src {
+			return arcs[i].Src < arcs[j].Src
+		}
+		return arcs[i].Dst < arcs[j].Dst
+	})
+	arcs = dedupSorted(arcs)
+
+	g := &Graph{n: b.n, undirected: b.undirected}
+	g.outIndex = make([]int64, b.n+1)
+	g.outAdj = make([]VertexID, len(arcs))
+	for _, e := range arcs {
+		g.outIndex[e.Src+1]++
+	}
+	for v := 0; v < b.n; v++ {
+		g.outIndex[v+1] += g.outIndex[v]
+	}
+	cursor := make([]int64, b.n)
+	copy(cursor, g.outIndex[:b.n])
+	for _, e := range arcs {
+		g.outAdj[cursor[e.Src]] = e.Dst
+		cursor[e.Src]++
+	}
+
+	// In-adjacency via a counting pass over the same arcs.
+	g.inIndex = make([]int64, b.n+1)
+	g.inAdj = make([]VertexID, len(arcs))
+	for _, e := range arcs {
+		g.inIndex[e.Dst+1]++
+	}
+	for v := 0; v < b.n; v++ {
+		g.inIndex[v+1] += g.inIndex[v]
+	}
+	copy(cursor, g.inIndex[:b.n])
+	// Iterating arcs in (src,dst) order yields sorted in-adjacency
+	// because sources ascend for each fixed destination bucket.
+	for _, e := range arcs {
+		g.inAdj[cursor[e.Dst]] = e.Src
+		cursor[e.Dst]++
+	}
+	return g, nil
+}
+
+// MustBuild is Build that panics on error; for tests and generators
+// whose inputs are correct by construction.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func dedupSorted(arcs []Edge) []Edge {
+	if len(arcs) == 0 {
+		return arcs
+	}
+	out := arcs[:1]
+	for _, e := range arcs[1:] {
+		if last := out[len(out)-1]; last != e {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// FromEdges is a convenience constructor over an explicit edge list.
+func FromEdges(n int, edges []Edge, undirected bool) (*Graph, error) {
+	var b *Builder
+	if undirected {
+		b = NewUndirectedBuilder(n)
+	} else {
+		b = NewBuilder(n)
+	}
+	for _, e := range edges {
+		b.AddEdge(e.Src, e.Dst)
+	}
+	return b.Build()
+}
+
+// Symmetrize returns the undirected version of g: every arc gains its
+// reverse and Undirected() reports true.
+func Symmetrize(g *Graph) *Graph {
+	b := NewUndirectedBuilder(g.NumVertices())
+	g.Edges(func(s, d VertexID) bool {
+		b.AddEdge(s, d)
+		return true
+	})
+	return b.MustBuild()
+}

@@ -1,0 +1,185 @@
+// Package graph provides an immutable directed graph in compressed
+// sparse row (CSR) form, together with builders, traversals and
+// edge-list I/O. It is the substrate every other package in this
+// repository works against.
+//
+// Vertices are dense identifiers in [0, NumVertices). Both the
+// out-adjacency and the in-adjacency are materialised so that the
+// degree metrics of the paper's cost model (d+G, d-G) are O(1).
+package graph
+
+import "fmt"
+
+// VertexID identifies a vertex. Dense in [0, NumVertices).
+type VertexID = uint32
+
+// Edge is a directed edge from Src to Dst.
+type Edge struct {
+	Src, Dst VertexID
+}
+
+// Graph is an immutable directed graph in CSR form. The zero value is
+// an empty graph. Use a Builder to construct one.
+//
+// For undirected graphs every edge {u,v} is stored as the two arcs
+// (u,v) and (v,u), and Undirected reports true; NumEdges still counts
+// stored arcs, while NumUndirectedEdges halves it.
+type Graph struct {
+	n          int
+	outIndex   []int64 // len n+1; outAdj[outIndex[v]:outIndex[v+1]] are v's successors
+	outAdj     []VertexID
+	inIndex    []int64
+	inAdj      []VertexID
+	undirected bool
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges returns the number of stored directed arcs.
+func (g *Graph) NumEdges() int64 { return int64(len(g.outAdj)) }
+
+// NumUndirectedEdges returns the number of undirected edges when the
+// graph is symmetric (each counted once). For directed graphs it
+// returns NumEdges.
+func (g *Graph) NumUndirectedEdges() int64 {
+	if g.undirected {
+		return int64(len(g.outAdj)) / 2
+	}
+	return int64(len(g.outAdj))
+}
+
+// Undirected reports whether the graph was built as an undirected
+// (symmetrised) graph.
+func (g *Graph) Undirected() bool { return g.undirected }
+
+// OutDegree returns the out-degree of v (d-G in the paper's notation).
+func (g *Graph) OutDegree(v VertexID) int {
+	return int(g.outIndex[v+1] - g.outIndex[v])
+}
+
+// InDegree returns the in-degree of v (d+G in the paper's notation).
+func (g *Graph) InDegree(v VertexID) int {
+	return int(g.inIndex[v+1] - g.inIndex[v])
+}
+
+// Degree returns the total degree of v: in+out for directed graphs,
+// the undirected degree for symmetric graphs.
+func (g *Graph) Degree(v VertexID) int {
+	if g.undirected {
+		return g.OutDegree(v)
+	}
+	return g.OutDegree(v) + g.InDegree(v)
+}
+
+// OutNeighbors returns the successors of v. The returned slice aliases
+// internal storage and must not be modified.
+func (g *Graph) OutNeighbors(v VertexID) []VertexID {
+	return g.outAdj[g.outIndex[v]:g.outIndex[v+1]]
+}
+
+// InNeighbors returns the predecessors of v. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) InNeighbors(v VertexID) []VertexID {
+	return g.inAdj[g.inIndex[v]:g.inIndex[v+1]]
+}
+
+// AvgDegree returns D = Σ d+G(v) / |V|, the constant metric variable of
+// the paper's cost model. Zero for the empty graph.
+func (g *Graph) AvgDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return float64(len(g.outAdj)) / float64(g.n)
+}
+
+// HasEdge reports whether the arc (u,v) exists. Binary search over the
+// sorted adjacency, O(log d).
+func (g *Graph) HasEdge(u, v VertexID) bool {
+	adj := g.OutNeighbors(u)
+	lo, hi := 0, len(adj)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if adj[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(adj) && adj[lo] == v
+}
+
+// Edges calls fn for every stored arc in (src, dst) order. If fn
+// returns false, iteration stops early.
+func (g *Graph) Edges(fn func(src, dst VertexID) bool) {
+	for v := 0; v < g.n; v++ {
+		for _, w := range g.OutNeighbors(VertexID(v)) {
+			if !fn(VertexID(v), w) {
+				return
+			}
+		}
+	}
+}
+
+// EdgeList materialises all stored arcs.
+func (g *Graph) EdgeList() []Edge {
+	out := make([]Edge, 0, len(g.outAdj))
+	g.Edges(func(s, d VertexID) bool {
+		out = append(out, Edge{s, d})
+		return true
+	})
+	return out
+}
+
+// String implements fmt.Stringer with a short summary.
+func (g *Graph) String() string {
+	kind := "directed"
+	if g.undirected {
+		kind = "undirected"
+	}
+	return fmt.Sprintf("graph{%s |V|=%d |E|=%d}", kind, g.n, g.NumEdges())
+}
+
+// Validate checks internal CSR invariants. It is intended for tests
+// and costs O(|V|+|E|).
+func (g *Graph) Validate() error {
+	if len(g.outIndex) != g.n+1 || len(g.inIndex) != g.n+1 {
+		return fmt.Errorf("graph: index length mismatch: n=%d out=%d in=%d", g.n, len(g.outIndex), len(g.inIndex))
+	}
+	if len(g.outAdj) != len(g.inAdj) {
+		return fmt.Errorf("graph: arc count mismatch out=%d in=%d", len(g.outAdj), len(g.inAdj))
+	}
+	for v := 0; v < g.n; v++ {
+		if g.outIndex[v] > g.outIndex[v+1] || g.inIndex[v] > g.inIndex[v+1] {
+			return fmt.Errorf("graph: non-monotone index at %d", v)
+		}
+		adj := g.OutNeighbors(VertexID(v))
+		for i, w := range adj {
+			if int(w) >= g.n {
+				return fmt.Errorf("graph: out-neighbor %d of %d out of range", w, v)
+			}
+			if i > 0 && adj[i-1] >= w {
+				return fmt.Errorf("graph: out-adjacency of %d not strictly sorted", v)
+			}
+		}
+		in := g.InNeighbors(VertexID(v))
+		for i, w := range in {
+			if int(w) >= g.n {
+				return fmt.Errorf("graph: in-neighbor %d of %d out of range", w, v)
+			}
+			if i > 0 && in[i-1] >= w {
+				return fmt.Errorf("graph: in-adjacency of %d not strictly sorted", v)
+			}
+		}
+	}
+	if g.undirected {
+		for v := 0; v < g.n; v++ {
+			for _, w := range g.OutNeighbors(VertexID(v)) {
+				if !g.HasEdge(w, VertexID(v)) {
+					return fmt.Errorf("graph: undirected graph missing reverse arc (%d,%d)", w, v)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes g as a text edge list: a header line
+// "# vertices N directed|undirected" followed by one "src dst" pair
+// per stored arc (for undirected graphs only arcs with src <= dst are
+// written, so a round trip reproduces the graph).
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	kind := "directed"
+	if g.Undirected() {
+		kind = "undirected"
+	}
+	if _, err := fmt.Fprintf(bw, "# vertices %d %s\n", g.NumVertices(), kind); err != nil {
+		return err
+	}
+	var werr error
+	g.Edges(func(s, d VertexID) bool {
+		if g.Undirected() && s > d {
+			return true
+		}
+		if _, err := fmt.Fprintf(bw, "%d %d\n", s, d); err != nil {
+			werr = err
+			return false
+		}
+		return true
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format produced by WriteEdgeList. Lines
+// starting with '%' or additional '#' lines are skipped, so common
+// SNAP-style edge lists also parse (pass explicit n via the header or
+// the maximum seen vertex + 1 is used).
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := -1
+	undirected := false
+	var edges []Edge
+	maxV := VertexID(0)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "vertices" {
+				v, err := strconv.Atoi(fields[2])
+				if err != nil {
+					return nil, fmt.Errorf("graph: bad header line %d: %v", lineNo, err)
+				}
+				n = v
+				undirected = fields[3] == "undirected"
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: expected 'src dst'", lineNo)
+		}
+		s, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		d, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		e := Edge{VertexID(s), VertexID(d)}
+		if e.Src > maxV {
+			maxV = e.Src
+		}
+		if e.Dst > maxV {
+			maxV = e.Dst
+		}
+		edges = append(edges, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		n = int(maxV) + 1
+		if len(edges) == 0 {
+			n = 0
+		}
+	}
+	return FromEdges(n, edges, undirected)
+}
+
+const binaryMagic = uint32(0xAD9A_0001)
+
+// WriteBinary writes g in a compact little-endian binary format:
+// magic, flags, n, m, then the out-index and out-adjacency arrays.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	flags := uint32(0)
+	if g.Undirected() {
+		flags = 1
+	}
+	hdr := []uint32{binaryMagic, flags, uint32(g.NumVertices())}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.NumEdges()); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.outIndex); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.outAdj); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the format produced by WriteBinary and rebuilds
+// the in-adjacency.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var magic, flags, n uint32
+	var m int64
+	for _, p := range []any{&magic, &flags, &n, &m} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", magic)
+	}
+	// Sanity-cap the declared sizes before allocating: a corrupt or
+	// hostile header must not be able to demand gigabytes.
+	const maxVertices, maxArcs = 1 << 28, 1 << 31
+	if n > maxVertices {
+		return nil, fmt.Errorf("graph: header declares %d vertices (cap %d)", n, maxVertices)
+	}
+	if m < 0 || m > maxArcs {
+		return nil, fmt.Errorf("graph: header declares %d arcs (cap %d)", m, int64(maxArcs))
+	}
+	outIndex := make([]int64, n+1)
+	if err := binary.Read(br, binary.LittleEndian, outIndex); err != nil {
+		return nil, err
+	}
+	// The index must be monotone within [0, m] or the slicing below
+	// would panic on corrupt input.
+	for v := 0; v < int(n); v++ {
+		if outIndex[v] < 0 || outIndex[v] > outIndex[v+1] || outIndex[v+1] > m {
+			return nil, fmt.Errorf("graph: corrupt index at vertex %d", v)
+		}
+	}
+	if n > 0 && outIndex[0] != 0 {
+		return nil, fmt.Errorf("graph: corrupt index origin")
+	}
+	outAdj := make([]VertexID, m)
+	if err := binary.Read(br, binary.LittleEndian, outAdj); err != nil {
+		return nil, err
+	}
+	b := NewBuilder(int(n))
+	if flags&1 != 0 {
+		b = NewUndirectedBuilder(int(n))
+	}
+	for v := 0; v < int(n); v++ {
+		for _, w := range outAdj[outIndex[v]:outIndex[v+1]] {
+			if flags&1 != 0 && VertexID(v) > w {
+				continue
+			}
+			b.AddEdge(VertexID(v), w)
+		}
+	}
+	return b.Build()
+}

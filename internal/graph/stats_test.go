@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestComputeStatsStar(t *testing.T) {
+	// A 101-vertex star: hub 0 receives 100 in-arcs.
+	b := NewBuilder(101)
+	for v := 1; v <= 100; v++ {
+		b.AddEdge(VertexID(v), 0)
+	}
+	g := b.MustBuild()
+	s := ComputeStats(g)
+	if s.MaxInDeg != 100 || s.MaxOutDeg != 1 {
+		t.Fatalf("degrees: %+v", s)
+	}
+	if s.P99InDeg != 0 {
+		t.Fatalf("p99 in-degree = %d, want 0 (only the hub has in-arcs)", s.P99InDeg)
+	}
+	if s.Skew < 50 {
+		t.Fatalf("star skew = %v", s.Skew)
+	}
+	// A single hub holding all mass: Gini near 1.
+	if s.GiniInDeg < 0.9 {
+		t.Fatalf("star gini = %v, want ≈1", s.GiniInDeg)
+	}
+	if !strings.Contains(s.String(), "|V|=101") {
+		t.Fatalf("stats string: %s", s)
+	}
+}
+
+func TestComputeStatsUniform(t *testing.T) {
+	// A directed cycle: perfectly uniform in-degrees, Gini 0.
+	b := NewBuilder(50)
+	for v := 0; v < 50; v++ {
+		b.AddEdge(VertexID(v), VertexID((v+1)%50))
+	}
+	g := b.MustBuild()
+	s := ComputeStats(g)
+	if math.Abs(s.GiniInDeg) > 1e-9 {
+		t.Fatalf("cycle gini = %v, want 0", s.GiniInDeg)
+	}
+	if s.MaxInDeg != 1 || s.Skew != 1 {
+		t.Fatalf("cycle stats: %+v", s)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	g := NewBuilder(0).MustBuild()
+	s := ComputeStats(g)
+	if s.Vertices != 0 || s.GiniInDeg != 0 {
+		t.Fatalf("empty stats: %+v", s)
+	}
+}

@@ -1,0 +1,109 @@
+package graph
+
+// BFSOrder returns the vertices of g reachable along out-edges from
+// the given roots, in breadth-first order. Vertices not listed in
+// roots and not reachable are appended afterwards in id order, so the
+// result is always a permutation prefix covering all n vertices when
+// exhaustive is true.
+func BFSOrder(g *Graph, roots []VertexID, exhaustive bool) []VertexID {
+	n := g.NumVertices()
+	seen := make([]bool, n)
+	order := make([]VertexID, 0, n)
+	queue := make([]VertexID, 0, n)
+	enqueue := func(v VertexID) {
+		if !seen[v] {
+			seen[v] = true
+			queue = append(queue, v)
+		}
+	}
+	for _, r := range roots {
+		enqueue(r)
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		order = append(order, v)
+		for _, w := range g.OutNeighbors(v) {
+			enqueue(w)
+		}
+		if g.Undirected() {
+			continue
+		}
+		for _, w := range g.InNeighbors(v) {
+			enqueue(w)
+		}
+	}
+	if exhaustive {
+		for v := 0; v < n; v++ {
+			if !seen[VertexID(v)] {
+				enqueue(VertexID(v))
+				for head := len(order); head < len(queue); head++ {
+					u := queue[head]
+					order = append(order, u)
+					for _, w := range g.OutNeighbors(u) {
+						enqueue(w)
+					}
+					if !g.Undirected() {
+						for _, w := range g.InNeighbors(u) {
+							enqueue(w)
+						}
+					}
+				}
+			}
+		}
+	}
+	return order
+}
+
+// ConnectedComponents labels each vertex with the smallest vertex id
+// in its weakly connected component and returns the labels plus the
+// number of components. Used both as the sequential WCC oracle and by
+// generators.
+func ConnectedComponents(g *Graph) ([]VertexID, int) {
+	n := g.NumVertices()
+	label := make([]VertexID, n)
+	for i := range label {
+		label[i] = VertexID(n) // sentinel: unvisited
+	}
+	count := 0
+	queue := make([]VertexID, 0, 64)
+	for s := 0; s < n; s++ {
+		if label[s] != VertexID(n) {
+			continue
+		}
+		count++
+		root := VertexID(s)
+		label[s] = root
+		queue = append(queue[:0], root)
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, w := range g.OutNeighbors(v) {
+				if label[w] == VertexID(n) {
+					label[w] = root
+					queue = append(queue, w)
+				}
+			}
+			for _, w := range g.InNeighbors(v) {
+				if label[w] == VertexID(n) {
+					label[w] = root
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return label, count
+}
+
+// MaxDegreeVertex returns the vertex with the largest total degree,
+// breaking ties toward the smaller id. Returns 0 for an empty graph.
+func MaxDegreeVertex(g *Graph) VertexID {
+	best := VertexID(0)
+	bestDeg := -1
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(VertexID(v)); d > bestDeg {
+			bestDeg = d
+			best = VertexID(v)
+		}
+	}
+	return best
+}

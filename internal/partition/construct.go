@@ -1,0 +1,189 @@
+package partition
+
+import (
+	"fmt"
+
+	"adp/internal/graph"
+)
+
+// FromVertexAssignment builds the edge-cut partition induced by a
+// vertex→fragment assignment: fragment a(v) receives every arc
+// incident to v, so every vertex is e-cut at its owner and cut arcs
+// are replicated at both endpoint fragments (the classic edge-cut
+// layout of Fig. 1(b), with dummy copies at the far ends of cut arcs).
+func FromVertexAssignment(g *graph.Graph, assign []int, n int) (*Partition, error) {
+	if len(assign) != g.NumVertices() {
+		return nil, fmt.Errorf("partition: assignment covers %d of %d vertices", len(assign), g.NumVertices())
+	}
+	p := NewEmpty(g, n)
+	for v := range assign {
+		if assign[v] < 0 || assign[v] >= n {
+			return nil, fmt.Errorf("partition: vertex %d assigned to fragment %d of %d", v, assign[v], n)
+		}
+	}
+	g.Edges(func(s, d graph.VertexID) bool {
+		p.AddArc(assign[s], s, d)
+		if assign[d] != assign[s] {
+			p.AddArc(assign[d], s, d)
+		}
+		return true
+	})
+	// Isolated vertices still need a home.
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.OutDegree(graph.VertexID(v)) == 0 && g.InDegree(graph.VertexID(v)) == 0 {
+			p.AddVertex(assign[v], graph.VertexID(v))
+		}
+	}
+	// Masters and compute owners default to the owner fragment.
+	for v := 0; v < g.NumVertices(); v++ {
+		if p.frags[assign[v]].Has(graph.VertexID(v)) {
+			p.master[v] = int32(assign[v])
+		}
+		p.owner[v] = int32(assign[v])
+	}
+	return p, nil
+}
+
+// EdgeAssigner maps an edge to its owning fragment. For undirected
+// graphs it is consulted once per undirected edge (src < dst) and the
+// symmetric arc pair is co-located.
+type EdgeAssigner func(src, dst graph.VertexID) int
+
+// FromEdgeAssignment builds the vertex-cut partition induced by an
+// edge→fragment assignment: each edge lives in exactly one fragment
+// (fe = 1) and vertices are replicated wherever their edges land.
+func FromEdgeAssignment(g *graph.Graph, assign EdgeAssigner, n int) (*Partition, error) {
+	p := NewEmpty(g, n)
+	var err error
+	g.Edges(func(s, d graph.VertexID) bool {
+		if g.Undirected() && s > d {
+			return true
+		}
+		i := assign(s, d)
+		if i < 0 || i >= n {
+			err = fmt.Errorf("partition: edge (%d,%d) assigned to fragment %d of %d", s, d, i, n)
+			return false
+		}
+		p.AddEdge(i, s, d)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.OutDegree(graph.VertexID(v)) == 0 && g.InDegree(graph.VertexID(v)) == 0 {
+			p.AddVertex(int(graph.VertexID(v))%n, graph.VertexID(v))
+		}
+	}
+	return p, nil
+}
+
+// Clone returns a deep copy of the partition sharing only the
+// immutable graph. Refiners mutate partitions in place; benchmarks
+// clone the baseline first.
+func (p *Partition) Clone() *Partition {
+	q := &Partition{
+		g:      p.g,
+		frags:  make([]*Fragment, len(p.frags)),
+		copies: make([][]int32, len(p.copies)),
+		master: make([]int32, len(p.master)),
+	}
+	q.owner = make([]int32, len(p.owner))
+	copy(q.master, p.master)
+	copy(q.owner, p.owner)
+	if p.weight != nil {
+		q.weight = append([]float64(nil), p.weight...)
+	}
+	for v, cs := range p.copies {
+		q.copies[v] = append([]int32(nil), cs...)
+	}
+	for i, f := range p.frags {
+		nf := &Fragment{id: i, verts: make(map[graph.VertexID]*Adj, len(f.verts)), arcs: make(map[uint64]struct{}, len(f.arcs))}
+		for v, adj := range f.verts {
+			nf.verts[v] = &Adj{
+				Out: append([]graph.VertexID(nil), adj.Out...),
+				In:  append([]graph.VertexID(nil), adj.In...),
+			}
+		}
+		for k := range f.arcs {
+			nf.arcs[k] = struct{}{}
+		}
+		q.frags[i] = nf
+	}
+	return q
+}
+
+// Validate checks the HP(n) invariants of Section 2:
+//   - every fragment arc exists in G and endpoint adjacency is
+//     consistent with the arc set;
+//   - every arc of G is stored by at least one fragment;
+//   - every vertex of G has at least one copy;
+//   - the copies index and master mapping agree with fragment contents;
+//   - for undirected graphs, symmetric arc pairs are co-located.
+func (p *Partition) Validate() error {
+	covered := make(map[uint64]bool, p.g.NumEdges())
+	for i, f := range p.frags {
+		var localArcs int
+		for v, adj := range f.verts {
+			for _, w := range adj.Out {
+				if !p.g.HasEdge(v, w) {
+					return fmt.Errorf("partition: fragment %d stores arc (%d,%d) not in G", i, v, w)
+				}
+				if !f.HasArc(v, w) {
+					return fmt.Errorf("partition: fragment %d adjacency/arc-set mismatch at (%d,%d)", i, v, w)
+				}
+				covered[arcKey(v, w)] = true
+				localArcs++
+				if p.g.Undirected() && !f.HasArc(w, v) {
+					return fmt.Errorf("partition: fragment %d splits undirected edge {%d,%d}", i, v, w)
+				}
+			}
+			for _, w := range adj.In {
+				if !f.HasArc(w, v) {
+					return fmt.Errorf("partition: fragment %d in-adjacency lists absent arc (%d,%d)", i, w, v)
+				}
+			}
+		}
+		if localArcs != f.NumArcs() {
+			return fmt.Errorf("partition: fragment %d arc count mismatch: adjacency %d, set %d", i, localArcs, f.NumArcs())
+		}
+		for v := range f.verts {
+			found := false
+			for _, c := range p.copies[v] {
+				if int(c) == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("partition: copies index misses vertex %d in fragment %d", v, i)
+			}
+		}
+	}
+	var missing int64
+	p.g.Edges(func(s, d graph.VertexID) bool {
+		if !covered[arcKey(s, d)] {
+			missing++
+		}
+		return true
+	})
+	if missing > 0 {
+		return fmt.Errorf("partition: %d arcs of G not stored by any fragment", missing)
+	}
+	for v := 0; v < p.g.NumVertices(); v++ {
+		cs := p.copies[v]
+		if len(cs) == 0 {
+			return fmt.Errorf("partition: vertex %d has no copy", v)
+		}
+		for _, c := range cs {
+			if !p.frags[c].Has(graph.VertexID(v)) {
+				return fmt.Errorf("partition: copies index lists fragment %d for vertex %d but the fragment has no copy", c, v)
+			}
+		}
+		m := p.master[v]
+		if m < 0 || !p.frags[m].Has(graph.VertexID(v)) {
+			return fmt.Errorf("partition: master of %d is fragment %d which holds no copy", v, m)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package partition
+
+import (
+	"testing"
+
+	"adp/internal/graph"
+)
+
+// Vertex ids for the paper's Fig. 1(a) graph G1: sources s1..s5 are
+// 0..4, targets t1..t5 are 5..9. The edge set is reconstructed from
+// the workload numbers of Example 1 (in-degrees t1..t5 = 2,4,3,2,2;
+// |E| = 13; fragment F1 of Fig. 1(b) holds 9 arcs, F2 holds 8).
+const (
+	s1 = graph.VertexID(iota)
+	s2
+	s3
+	s4
+	s5
+	t1
+	t2
+	t3
+	t4
+	t5
+)
+
+// figure1G1 builds G1 of Fig. 1(a).
+func figure1G1(t testing.TB) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(10)
+	edges := []graph.Edge{
+		{Src: s1, Dst: t1}, {Src: s1, Dst: t2}, {Src: s1, Dst: t3},
+		{Src: s2, Dst: t1}, {Src: s2, Dst: t2},
+		{Src: s3, Dst: t2}, {Src: s3, Dst: t3}, {Src: s3, Dst: t4},
+		{Src: s4, Dst: t2}, {Src: s4, Dst: t3}, {Src: s4, Dst: t5},
+		{Src: s5, Dst: t4}, {Src: s5, Dst: t5},
+	}
+	for _, e := range edges {
+		b.AddEdge(e.Src, e.Dst)
+	}
+	g := b.MustBuild()
+	if g.NumEdges() != 13 {
+		t.Fatalf("G1 should have 13 arcs, has %d", g.NumEdges())
+	}
+	return g
+}
+
+// figure1bPartition is the balanced edge-cut of Fig. 1(b):
+// F1 owns {s1,s2,t1,t2,t3}, F2 owns {s3,s4,s5,t4,t5}.
+func figure1bPartition(t testing.TB, g *graph.Graph) *Partition {
+	t.Helper()
+	assign := []int{0, 0, 1, 1, 1, 0, 0, 0, 1, 1}
+	p, err := FromVertexAssignment(g, assign, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// figure1cPartition is the CN-workload-balanced edge-cut of Fig. 1(c):
+// F1 owns {s1(*),t2}, wait — per the figure F1 = {t2, plus its
+// in-sources as dummies} with workload 6 on both sides. The paper's
+// F1 holds 3 vertices / 6 edges and F2 holds 7 vertices / 11 edges;
+// CN workload (Σ d(d-1)/2 over owned targets) is 6 on each side. That
+// is achieved by F1 owning {t2} (cost 6) plus two sources, and F2
+// owning the rest (t1,t3,t4,t5: cost 1+3+1+1 = 6).
+func figure1cPartition(t testing.TB, g *graph.Graph) *Partition {
+	t.Helper()
+	assign := []int{0, 0, 1, 1, 1, 1, 0, 1, 1, 1}
+	p, err := FromVertexAssignment(g, assign, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// cnWorkload computes Σ ½·d⁺(v)(d⁺(v)−1) over the targets owned by a
+// fragment under an edge-cut — the CN computation load of Example 1.
+func cnWorkload(g *graph.Graph, assign []int, frag int) int {
+	total := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if assign[v] != frag {
+			continue
+		}
+		d := g.InDegree(graph.VertexID(v))
+		total += d * (d - 1) / 2
+	}
+	return total
+}

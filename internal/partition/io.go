@@ -1,0 +1,135 @@
+package partition
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"adp/internal/graph"
+)
+
+// Serialisation: a partition persists as its fragment arc sets plus
+// the owner and master maps; the graph itself is stored separately
+// (see graph.WriteBinary) and supplied again at load time, the way a
+// production system keeps topology and placement apart.
+
+const partitionMagic = uint32(0xAD9A_0002)
+
+// Write serialises p in a compact little-endian binary format.
+func Write(w io.Writer, p *Partition) error {
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+	if err := binary.Write(bw, le, partitionMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, uint32(p.NumFragments())); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, uint32(p.g.NumVertices())); err != nil {
+		return err
+	}
+	for i := 0; i < p.NumFragments(); i++ {
+		f := p.Fragment(i)
+		if err := binary.Write(bw, le, uint32(f.NumArcs())); err != nil {
+			return err
+		}
+		var werr error
+		f.Vertices(func(v graph.VertexID, adj *Adj) {
+			if werr != nil {
+				return
+			}
+			for _, u := range adj.Out {
+				if err := binary.Write(bw, le, [2]uint32{uint32(v), uint32(u)}); err != nil {
+					werr = err
+					return
+				}
+			}
+		})
+		if werr != nil {
+			return werr
+		}
+		// Edge-less placeholder copies (isolated vertices).
+		var loners []uint32
+		f.Vertices(func(v graph.VertexID, adj *Adj) {
+			if adj.LocalDegree() == 0 {
+				loners = append(loners, uint32(v))
+			}
+		})
+		if err := binary.Write(bw, le, uint32(len(loners))); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, le, loners); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, le, p.owner); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, p.master); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read reconstructs a partition of g from the format produced by
+// Write. The graph must be the one the partition was built over.
+func Read(r io.Reader, g *graph.Graph) (*Partition, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+	var magic, n, nv uint32
+	for _, ptr := range []*uint32{&magic, &n, &nv} {
+		if err := binary.Read(br, le, ptr); err != nil {
+			return nil, err
+		}
+	}
+	if magic != partitionMagic {
+		return nil, fmt.Errorf("partition: bad magic %#x", magic)
+	}
+	if int(nv) != g.NumVertices() {
+		return nil, fmt.Errorf("partition: stored for %d vertices, graph has %d", nv, g.NumVertices())
+	}
+	p := NewEmpty(g, int(n))
+	for i := 0; i < int(n); i++ {
+		var arcs uint32
+		if err := binary.Read(br, le, &arcs); err != nil {
+			return nil, err
+		}
+		for a := uint32(0); a < arcs; a++ {
+			var pair [2]uint32
+			if err := binary.Read(br, le, &pair); err != nil {
+				return nil, err
+			}
+			if !g.HasEdge(graph.VertexID(pair[0]), graph.VertexID(pair[1])) {
+				return nil, fmt.Errorf("partition: stored arc (%d,%d) not in graph", pair[0], pair[1])
+			}
+			p.AddArc(i, graph.VertexID(pair[0]), graph.VertexID(pair[1]))
+		}
+		var loners uint32
+		if err := binary.Read(br, le, &loners); err != nil {
+			return nil, err
+		}
+		for l := uint32(0); l < loners; l++ {
+			var v uint32
+			if err := binary.Read(br, le, &v); err != nil {
+				return nil, err
+			}
+			p.AddVertex(i, graph.VertexID(v))
+		}
+	}
+	owner := make([]int32, nv)
+	if err := binary.Read(br, le, owner); err != nil {
+		return nil, err
+	}
+	master := make([]int32, nv)
+	if err := binary.Read(br, le, master); err != nil {
+		return nil, err
+	}
+	copy(p.owner, owner)
+	for v, mfrag := range master {
+		if mfrag >= 0 && p.frags[mfrag].Has(graph.VertexID(v)) {
+			p.master[v] = mfrag
+		}
+	}
+	return p, nil
+}

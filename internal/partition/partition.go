@@ -1,0 +1,411 @@
+// Package partition implements the hybrid graph partition model of
+// Section 2 of the paper: an n-cut hybrid partition HP(n) divides a
+// graph G into fragments F1..Fn whose vertex and edge sets cover G.
+// Vertices are classified per copy as e-cut nodes (the fragment holds
+// every incident edge), v-cut nodes (no fragment holds every incident
+// edge) or dummy nodes (a copy of an e-cut vertex elsewhere). Border
+// (replicated) vertices carry a master-node mapping.
+//
+// Both edge-cut and vertex-cut partitions are special cases
+// (IsEdgeCut, IsVertexCut), and the package computes the paper's
+// quality metrics: replication ratios fv and fe and balance factors
+// λv and λe.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"adp/internal/graph"
+)
+
+// Status classifies a vertex copy inside one fragment (Section 2).
+type Status uint8
+
+const (
+	// Absent means the fragment holds no copy of the vertex.
+	Absent Status = iota
+	// ECutNode is the copy of an e-cut vertex that holds every
+	// incident edge; computation for the vertex happens here.
+	ECutNode
+	// VCutNode is a copy of a vertex none of whose copies is
+	// complete; computation is split across the copies.
+	VCutNode
+	// DummyNode is a non-computing copy of an e-cut vertex.
+	DummyNode
+)
+
+func (s Status) String() string {
+	switch s {
+	case Absent:
+		return "absent"
+	case ECutNode:
+		return "e-cut"
+	case VCutNode:
+		return "v-cut"
+	case DummyNode:
+		return "dummy"
+	}
+	return "invalid"
+}
+
+// Adj is the local adjacency of one vertex copy inside a fragment.
+// Slices are owned by the fragment; callers must not mutate them.
+type Adj struct {
+	Out []graph.VertexID
+	In  []graph.VertexID
+}
+
+// LocalDegree returns the number of local incident arcs.
+func (a *Adj) LocalDegree() int { return len(a.Out) + len(a.In) }
+
+// Fragment is one piece Fi of a hybrid partition. It stores a set of
+// arcs of G as per-vertex adjacency plus an arc-set index for O(1)
+// membership tests.
+type Fragment struct {
+	id    int
+	verts map[graph.VertexID]*Adj
+	arcs  map[uint64]struct{}
+}
+
+func arcKey(u, v graph.VertexID) uint64 { return uint64(u)<<32 | uint64(v) }
+
+// ID returns the fragment index in [0, n).
+func (f *Fragment) ID() int { return f.id }
+
+// NumArcs returns |Ei|, the number of arcs stored in the fragment.
+func (f *Fragment) NumArcs() int { return len(f.arcs) }
+
+// NumVertices returns the number of vertex copies (including dummies)
+// present in the fragment.
+func (f *Fragment) NumVertices() int { return len(f.verts) }
+
+// Has reports whether a copy of v is present.
+func (f *Fragment) Has(v graph.VertexID) bool {
+	_, ok := f.verts[v]
+	return ok
+}
+
+// HasArc reports whether the arc (u,v) is stored locally.
+func (f *Fragment) HasArc(u, v graph.VertexID) bool {
+	_, ok := f.arcs[arcKey(u, v)]
+	return ok
+}
+
+// Adjacency returns the local adjacency of v, or nil if absent.
+func (f *Fragment) Adjacency(v graph.VertexID) *Adj { return f.verts[v] }
+
+// Vertices calls fn for every vertex copy in ascending id order.
+// Deterministic iteration keeps the refiners reproducible.
+func (f *Fragment) Vertices(fn func(v graph.VertexID, adj *Adj)) {
+	ids := f.SortedVertices()
+	for _, v := range ids {
+		fn(v, f.verts[v])
+	}
+}
+
+// SortedVertices returns the ids of all vertex copies in ascending
+// order.
+func (f *Fragment) SortedVertices() []graph.VertexID {
+	ids := make([]graph.VertexID, 0, len(f.verts))
+	for v := range f.verts {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Partition is a hybrid partition HP(n) of a graph.
+type Partition struct {
+	g      *graph.Graph
+	frags  []*Fragment
+	copies [][]int32 // copies[v] = sorted fragment ids holding a copy of v
+	master []int32   // master[v] = fragment id of the master copy, -1 if v absent everywhere
+	owner  []int32   // owner[v] = preferred compute fragment for e-cut designation, -1 if unset
+	// weight optionally carries per-vertex data sizes (the |Ary| of
+	// the Section-3.1 remark: mutable vertex payloads that scale an
+	// algorithm's per-vertex cost). Nil when unused; 1.0 is the
+	// implied default.
+	weight []float64
+}
+
+// NewEmpty returns a partition of g with n empty fragments.
+func NewEmpty(g *graph.Graph, n int) *Partition {
+	p := &Partition{
+		g:      g,
+		frags:  make([]*Fragment, n),
+		copies: make([][]int32, g.NumVertices()),
+		master: make([]int32, g.NumVertices()),
+		owner:  make([]int32, g.NumVertices()),
+	}
+	for i := range p.frags {
+		p.frags[i] = &Fragment{id: i, verts: map[graph.VertexID]*Adj{}, arcs: map[uint64]struct{}{}}
+	}
+	for i := range p.master {
+		p.master[i] = -1
+		p.owner[i] = -1
+	}
+	return p
+}
+
+// Graph returns the underlying graph.
+func (p *Partition) Graph() *graph.Graph { return p.g }
+
+// NumFragments returns n.
+func (p *Partition) NumFragments() int { return len(p.frags) }
+
+// Fragment returns fragment i.
+func (p *Partition) Fragment(i int) *Fragment { return p.frags[i] }
+
+// Fragments returns all fragments.
+func (p *Partition) Fragments() []*Fragment { return p.frags }
+
+// Copies returns the sorted fragment ids holding a copy of v. The
+// returned slice is owned by the partition.
+func (p *Partition) Copies(v graph.VertexID) []int32 { return p.copies[v] }
+
+// Replication returns r(v): the number of mirror copies of v, i.e.
+// copies minus one (0 when v is held by a single fragment).
+func (p *Partition) Replication(v graph.VertexID) int {
+	if len(p.copies[v]) == 0 {
+		return 0
+	}
+	return len(p.copies[v]) - 1
+}
+
+// IsBorder reports whether v is replicated across fragments (v ∈ F.O).
+func (p *Partition) IsBorder(v graph.VertexID) bool { return len(p.copies[v]) >= 2 }
+
+// Master returns the fragment id of v's master copy (-1 if v is
+// nowhere present).
+func (p *Partition) Master(v graph.VertexID) int { return int(p.master[v]) }
+
+// SetMaster reassigns the master copy of v to fragment i, which must
+// hold a copy of v.
+func (p *Partition) SetMaster(v graph.VertexID, i int) error {
+	if !p.frags[i].Has(v) {
+		return fmt.Errorf("partition: fragment %d holds no copy of %d", i, v)
+	}
+	p.master[v] = int32(i)
+	return nil
+}
+
+// ensureVertex adds an empty copy of v to fragment i.
+func (p *Partition) ensureVertex(i int, v graph.VertexID) *Adj {
+	f := p.frags[i]
+	if adj, ok := f.verts[v]; ok {
+		return adj
+	}
+	adj := &Adj{}
+	f.verts[v] = adj
+	p.insertCopy(v, int32(i))
+	if p.master[v] < 0 {
+		p.master[v] = int32(i)
+	}
+	return adj
+}
+
+func (p *Partition) insertCopy(v graph.VertexID, i int32) {
+	cs := p.copies[v]
+	pos := sort.Search(len(cs), func(k int) bool { return cs[k] >= i })
+	if pos < len(cs) && cs[pos] == i {
+		return
+	}
+	cs = append(cs, 0)
+	copy(cs[pos+1:], cs[pos:])
+	cs[pos] = i
+	p.copies[v] = cs
+}
+
+func (p *Partition) removeCopy(v graph.VertexID, i int32) {
+	cs := p.copies[v]
+	pos := sort.Search(len(cs), func(k int) bool { return cs[k] >= i })
+	if pos == len(cs) || cs[pos] != i {
+		return
+	}
+	p.copies[v] = append(cs[:pos], cs[pos+1:]...)
+	if p.master[v] == i {
+		if len(p.copies[v]) > 0 {
+			p.master[v] = p.copies[v][0]
+		} else {
+			p.master[v] = -1
+		}
+	}
+}
+
+// AddVertex places an (initially edge-less) copy of v in fragment i.
+// Used for dummy placeholders.
+func (p *Partition) AddVertex(i int, v graph.VertexID) { p.ensureVertex(i, v) }
+
+// AddArc stores the arc (u,v) in fragment i, creating vertex copies
+// for both endpoints as needed. Adding an arc twice is a no-op.
+// For undirected graphs callers should use AddEdge so the symmetric
+// arc pair stays co-located.
+func (p *Partition) AddArc(i int, u, v graph.VertexID) {
+	f := p.frags[i]
+	k := arcKey(u, v)
+	if _, ok := f.arcs[k]; ok {
+		return
+	}
+	f.arcs[k] = struct{}{}
+	ua := p.ensureVertex(i, u)
+	va := p.ensureVertex(i, v)
+	ua.Out = append(ua.Out, v)
+	va.In = append(va.In, u)
+}
+
+// AddEdge stores the edge (u,v): for undirected graphs both arcs, for
+// directed graphs the single arc.
+func (p *Partition) AddEdge(i int, u, v graph.VertexID) {
+	p.AddArc(i, u, v)
+	if p.g.Undirected() {
+		p.AddArc(i, v, u)
+	}
+}
+
+// RemoveArc deletes the arc (u,v) from fragment i. Vertex copies that
+// become edge-less are removed. Returns true if the arc was present.
+func (p *Partition) RemoveArc(i int, u, v graph.VertexID) bool {
+	f := p.frags[i]
+	k := arcKey(u, v)
+	if _, ok := f.arcs[k]; !ok {
+		return false
+	}
+	delete(f.arcs, k)
+	ua := f.verts[u]
+	ua.Out = removeID(ua.Out, v)
+	va := f.verts[v]
+	va.In = removeID(va.In, u)
+	p.dropIfIsolated(i, u)
+	p.dropIfIsolated(i, v)
+	return true
+}
+
+// RemoveEdge deletes the edge (u,v); for undirected graphs both arcs.
+func (p *Partition) RemoveEdge(i int, u, v graph.VertexID) bool {
+	ok := p.RemoveArc(i, u, v)
+	if p.g.Undirected() {
+		ok = p.RemoveArc(i, v, u) || ok
+	}
+	return ok
+}
+
+// RemoveVertex drops v's copy from fragment i together with all its
+// local incident arcs.
+func (p *Partition) RemoveVertex(i int, v graph.VertexID) {
+	f := p.frags[i]
+	adj, ok := f.verts[v]
+	if !ok {
+		return
+	}
+	for _, w := range append([]graph.VertexID(nil), adj.Out...) {
+		p.RemoveArc(i, v, w)
+	}
+	for _, w := range append([]graph.VertexID(nil), adj.In...) {
+		p.RemoveArc(i, w, v)
+	}
+	// The copy may remain as an edge-less placeholder; drop it.
+	if a, ok := f.verts[v]; ok && a.LocalDegree() == 0 {
+		delete(f.verts, v)
+		p.removeCopy(v, int32(i))
+	}
+}
+
+func (p *Partition) dropIfIsolated(i int, v graph.VertexID) {
+	f := p.frags[i]
+	if adj, ok := f.verts[v]; ok && adj.LocalDegree() == 0 {
+		delete(f.verts, v)
+		p.removeCopy(v, int32(i))
+	}
+}
+
+func removeID(s []graph.VertexID, v graph.VertexID) []graph.VertexID {
+	for i, w := range s {
+		if w == v {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// globalIncident returns |Ev|: the number of arcs incident to v in G.
+func (p *Partition) globalIncident(v graph.VertexID) int {
+	return p.g.InDegree(v) + p.g.OutDegree(v)
+}
+
+// IsComplete reports whether fragment i holds every arc incident to v
+// (Evi == Ev).
+func (p *Partition) IsComplete(i int, v graph.VertexID) bool {
+	adj := p.frags[i].verts[v]
+	if adj == nil {
+		return false
+	}
+	return adj.LocalDegree() == p.globalIncident(v)
+}
+
+// SetVertexWeight records a per-vertex data size (the |Ary| metric of
+// the Section-3.1 remark), exposed to cost models via the VData
+// variable. Weights default to 1.
+func (p *Partition) SetVertexWeight(v graph.VertexID, w float64) {
+	if p.weight == nil {
+		p.weight = make([]float64, p.g.NumVertices())
+		for i := range p.weight {
+			p.weight[i] = 1
+		}
+	}
+	p.weight[v] = w
+}
+
+// VertexWeight returns v's data size (1 when none was set).
+func (p *Partition) VertexWeight(v graph.VertexID) float64 {
+	if p.weight == nil {
+		return 1
+	}
+	return p.weight[v]
+}
+
+// SetOwner designates fragment i as the preferred compute location of
+// v: when i holds a complete copy, that copy is the e-cut node even if
+// other fragments also happen to be complete. VMerge and the edge-cut
+// constructors use this to pin computation where the paper places it.
+func (p *Partition) SetOwner(v graph.VertexID, i int) { p.owner[v] = int32(i) }
+
+// Owner returns the preferred compute fragment of v, or -1.
+func (p *Partition) Owner(v graph.VertexID) int { return int(p.owner[v]) }
+
+// completeFragment returns the fragment whose copy of v is the e-cut
+// node: the designated owner if its copy is complete, otherwise the
+// lowest fragment id holding a complete copy; -1 if no copy is
+// complete.
+func (p *Partition) completeFragment(v graph.VertexID) int {
+	if o := p.owner[v]; o >= 0 && p.IsComplete(int(o), v) {
+		return int(o)
+	}
+	for _, i := range p.copies[v] {
+		if p.IsComplete(int(i), v) {
+			return int(i)
+		}
+	}
+	return -1
+}
+
+// Status classifies the copy of v inside fragment i.
+func (p *Partition) Status(i int, v graph.VertexID) Status {
+	if !p.frags[i].Has(v) {
+		return Absent
+	}
+	cf := p.completeFragment(v)
+	switch {
+	case cf == i:
+		return ECutNode
+	case cf >= 0:
+		return DummyNode
+	default:
+		return VCutNode
+	}
+}
+
+// IsECut reports whether vertex v is e-cut: some fragment holds every
+// incident edge of v.
+func (p *Partition) IsECut(v graph.VertexID) bool { return p.completeFragment(v) >= 0 }

@@ -1,0 +1,229 @@
+// Package partitioner implements the baseline graph partitioners the
+// paper compares against and refines (Section 7): edge-cut
+// partitioners (hash, the streaming Fennel of [47], and a
+// label-propagation partitioner in the spirit of xtraPuLP [46]),
+// vertex-cut partitioners (the Grid hash partitioner of [28], HDRF
+// [43] and a neighbourhood-expansion partitioner in the spirit of NE
+// [53]), and the hybrid baselines Ginger [16] and TopoX [35].
+//
+// Every partitioner returns a *partition.Partition so the refiners of
+// Sections 5–6 can post-process any of them uniformly.
+package partitioner
+
+import (
+	"math"
+
+	"adp/internal/graph"
+	"adp/internal/partition"
+)
+
+// HashEdgeCut assigns vertex v to fragment v mod n: the trivial
+// edge-cut baseline.
+func HashEdgeCut(g *graph.Graph, n int) (*partition.Partition, error) {
+	assign := make([]int, g.NumVertices())
+	for v := range assign {
+		assign[v] = v % n
+	}
+	return partition.FromVertexAssignment(g, assign, n)
+}
+
+// FennelConfig tunes the streaming Fennel partitioner.
+type FennelConfig struct {
+	Gamma float64 // objective exponent, default 1.5
+	Slack float64 // capacity slack ν: |Vi| ≤ ν·|V|/n, default 1.1
+}
+
+func (c *FennelConfig) defaults() {
+	if c.Gamma == 0 {
+		c.Gamma = 1.5
+	}
+	if c.Slack == 0 {
+		c.Slack = 1.1
+	}
+}
+
+// FennelEdgeCut implements the one-pass streaming heuristic of
+// Tsourakakis et al.: vertex v goes to the fragment maximising
+// |N(v) ∩ Vi| − α·γ·|Vi|^(γ−1) subject to a capacity cap. Vertices
+// stream in id order, neighbours on either edge direction count.
+func FennelEdgeCut(g *graph.Graph, n int, cfg FennelConfig) (*partition.Partition, error) {
+	cfg.defaults()
+	nv := g.NumVertices()
+	m := float64(g.NumEdges())
+	alpha := m * math.Pow(float64(n), cfg.Gamma-1) / math.Pow(float64(nv), cfg.Gamma)
+	capLimit := int(cfg.Slack*float64(nv)/float64(n)) + 1
+
+	assign := make([]int, nv)
+	for i := range assign {
+		assign[i] = -1
+	}
+	sizes := make([]int, n)
+	neighborIn := make([]int, n)
+	for v := 0; v < nv; v++ {
+		for i := range neighborIn {
+			neighborIn[i] = 0
+		}
+		countNeighbor := func(w graph.VertexID) {
+			if a := assign[w]; a >= 0 {
+				neighborIn[a]++
+			}
+		}
+		for _, w := range g.OutNeighbors(graph.VertexID(v)) {
+			countNeighbor(w)
+		}
+		for _, w := range g.InNeighbors(graph.VertexID(v)) {
+			countNeighbor(w)
+		}
+		best, bestScore := -1, math.Inf(-1)
+		for i := 0; i < n; i++ {
+			if sizes[i] >= capLimit {
+				continue
+			}
+			score := float64(neighborIn[i]) - alpha*cfg.Gamma*math.Pow(float64(sizes[i]), cfg.Gamma-1)
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		if best < 0 { // every fragment at capacity: put in the smallest
+			for i := 0; i < n; i++ {
+				if best < 0 || sizes[i] < sizes[best] {
+					best = i
+				}
+			}
+		}
+		assign[v] = best
+		sizes[best]++
+	}
+	return partition.FromVertexAssignment(g, assign, n)
+}
+
+// ReFennelEdgeCut runs Fennel for several restreaming passes (the
+// ReLDG/ReFennel technique): after the first streaming pass, vertices
+// are re-streamed with full knowledge of everyone else's current
+// placement, which repairs the early blind decisions of a single pass.
+func ReFennelEdgeCut(g *graph.Graph, n, passes int, cfg FennelConfig) (*partition.Partition, error) {
+	cfg.defaults()
+	if passes < 1 {
+		passes = 2
+	}
+	nv := g.NumVertices()
+	m := float64(g.NumEdges())
+	alpha := m * math.Pow(float64(n), cfg.Gamma-1) / math.Pow(float64(nv), cfg.Gamma)
+	capLimit := int(cfg.Slack*float64(nv)/float64(n)) + 1
+
+	assign := make([]int, nv)
+	for i := range assign {
+		assign[i] = -1
+	}
+	sizes := make([]int, n)
+	neighborIn := make([]int, n)
+	for pass := 0; pass < passes; pass++ {
+		for v := 0; v < nv; v++ {
+			if old := assign[v]; old >= 0 {
+				sizes[old]--
+				assign[v] = -1
+			}
+			for i := range neighborIn {
+				neighborIn[i] = 0
+			}
+			count := func(w graph.VertexID) {
+				if a := assign[w]; a >= 0 {
+					neighborIn[a]++
+				}
+			}
+			for _, w := range g.OutNeighbors(graph.VertexID(v)) {
+				count(w)
+			}
+			for _, w := range g.InNeighbors(graph.VertexID(v)) {
+				count(w)
+			}
+			best, bestScore := -1, math.Inf(-1)
+			for i := 0; i < n; i++ {
+				if sizes[i] >= capLimit {
+					continue
+				}
+				score := float64(neighborIn[i]) - alpha*cfg.Gamma*math.Pow(float64(sizes[i]), cfg.Gamma-1)
+				if score > bestScore {
+					best, bestScore = i, score
+				}
+			}
+			if best < 0 {
+				for i := 0; i < n; i++ {
+					if best < 0 || sizes[i] < sizes[best] {
+						best = i
+					}
+				}
+			}
+			assign[v] = best
+			sizes[best]++
+		}
+	}
+	return partition.FromVertexAssignment(g, assign, n)
+}
+
+// LabelPropConfig tunes the label-propagation edge-cut partitioner.
+type LabelPropConfig struct {
+	Iterations int     // sweeps, default 8
+	Slack      float64 // size cap (1+Slack)·avg, default 0.1
+	Seed       int64
+}
+
+func (c *LabelPropConfig) defaults() {
+	if c.Iterations == 0 {
+		c.Iterations = 8
+	}
+	if c.Slack == 0 {
+		c.Slack = 0.1
+	}
+}
+
+// LabelPropEdgeCut is a size-constrained label-propagation partitioner
+// in the spirit of (xtra)PuLP: vertices start round-robin and
+// repeatedly adopt the fragment most common among their neighbours
+// when the move keeps fragment sizes within the slack.
+func LabelPropEdgeCut(g *graph.Graph, n int, cfg LabelPropConfig) (*partition.Partition, error) {
+	cfg.defaults()
+	nv := g.NumVertices()
+	assign := make([]int, nv)
+	sizes := make([]int, n)
+	for v := range assign {
+		assign[v] = v % n
+		sizes[v%n]++
+	}
+	capLimit := int((1+cfg.Slack)*float64(nv)/float64(n)) + 1
+	votes := make([]int, n)
+	for it := 0; it < cfg.Iterations; it++ {
+		moved := 0
+		for v := 0; v < nv; v++ {
+			for i := range votes {
+				votes[i] = 0
+			}
+			for _, w := range g.OutNeighbors(graph.VertexID(v)) {
+				votes[assign[w]]++
+			}
+			for _, w := range g.InNeighbors(graph.VertexID(v)) {
+				votes[assign[w]]++
+			}
+			cur := assign[v]
+			best := cur
+			for i := 0; i < n; i++ {
+				if i == cur || sizes[i] >= capLimit {
+					continue
+				}
+				if votes[i] > votes[best] {
+					best = i
+				}
+			}
+			if best != cur {
+				assign[v] = best
+				sizes[cur]--
+				sizes[best]++
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+	return partition.FromVertexAssignment(g, assign, n)
+}

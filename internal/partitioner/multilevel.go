@@ -1,0 +1,264 @@
+package partitioner
+
+import (
+	"sort"
+
+	"adp/internal/graph"
+	"adp/internal/partition"
+)
+
+// MultilevelConfig tunes the METIS-style multilevel edge-cut
+// partitioner.
+type MultilevelConfig struct {
+	CoarsestSize int     // stop coarsening below this many vertices, default 200·n
+	Slack        float64 // size cap (1+Slack)·avg during refinement, default 0.1
+}
+
+// MultilevelEdgeCut implements the classic multilevel scheme the paper
+// cites via METIS/ParMETIS [29-32]: coarsen by heavy-edge matching
+// until the graph is small, split the coarsest graph greedily by BFS
+// region growing, then project back level by level with a
+// label-propagation refinement pass at each level.
+func MultilevelEdgeCut(g *graph.Graph, n int, cfg MultilevelConfig) (*partition.Partition, error) {
+	if cfg.CoarsestSize == 0 {
+		cfg.CoarsestSize = 200 * n
+	}
+	if cfg.Slack == 0 {
+		cfg.Slack = 0.1
+	}
+
+	// Coarsening: levels[k] maps each vertex of level k to its parent
+	// in level k+1.
+	var levels []level
+	cur := g
+	for cur.NumVertices() > cfg.CoarsestSize {
+		parent, coarse := heavyEdgeMatch(cur)
+		if coarse.NumVertices() >= cur.NumVertices() {
+			break // matching made no progress (e.g. star graphs)
+		}
+		levels = append(levels, level{g: cur, parent: parent})
+		cur = coarse
+	}
+
+	// Coarse vertex weights = number of original vertices represented,
+	// obtained by pushing unit weights through the parent maps.
+	weight := make([]int, g.NumVertices())
+	for i := range weight {
+		weight[i] = 1
+	}
+	for _, lv := range levels {
+		next := make([]int, maxParent(lv.parent)+1)
+		for v, p := range lv.parent {
+			next[p] += weight[v]
+		}
+		weight = next
+	}
+
+	// Initial partition of the coarsest graph: BFS region growing into
+	// n parts of roughly equal weight.
+	assign := growRegions(cur, n, weight)
+
+	// Uncoarsening with refinement at every level.
+	for k := len(levels) - 1; k >= 0; k-- {
+		lv := levels[k]
+		fine := make([]int, lv.g.NumVertices())
+		for v, p := range lv.parent {
+			fine[v] = assign[p]
+		}
+		assign = refineAssignment(lv.g, fine, n, cfg.Slack)
+	}
+	return partition.FromVertexAssignment(g, assign, n)
+}
+
+// level is one coarsening step: its graph and the map from its
+// vertices to the next (coarser) level.
+type level struct {
+	g      *graph.Graph
+	parent []int
+}
+
+func maxParent(parent []int) int {
+	m := 0
+	for _, p := range parent {
+		if p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+// heavyEdgeMatch matches each unmatched vertex with its most-connected
+// unmatched neighbour (here: first unmatched neighbour in degree
+// order, a standard HEM approximation for unweighted graphs) and
+// returns the parent mapping plus the coarse graph.
+func heavyEdgeMatch(g *graph.Graph) ([]int, *graph.Graph) {
+	nv := g.NumVertices()
+	parent := make([]int, nv)
+	for i := range parent {
+		parent[i] = -1
+	}
+	// Visit vertices in increasing degree order: matching low-degree
+	// vertices first preserves more structure.
+	order := make([]int, nv)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := g.Degree(graph.VertexID(order[a])), g.Degree(graph.VertexID(order[b]))
+		if da != db {
+			return da < db
+		}
+		return order[a] < order[b]
+	})
+	next := 0
+	for _, v := range order {
+		if parent[v] >= 0 {
+			continue
+		}
+		mate := -1
+		try := func(w graph.VertexID) {
+			if mate < 0 && int(w) != v && parent[w] < 0 {
+				mate = int(w)
+			}
+		}
+		for _, w := range g.OutNeighbors(graph.VertexID(v)) {
+			try(w)
+		}
+		for _, w := range g.InNeighbors(graph.VertexID(v)) {
+			try(w)
+		}
+		parent[v] = next
+		if mate >= 0 {
+			parent[mate] = next
+		}
+		next++
+	}
+	cb := graph.NewBuilder(next)
+	if g.Undirected() {
+		cb = graph.NewUndirectedBuilder(next)
+	}
+	g.Edges(func(u, v graph.VertexID) bool {
+		if g.Undirected() && u > v {
+			return true
+		}
+		pu, pv := parent[u], parent[v]
+		if pu != pv {
+			cb.AddEdge(graph.VertexID(pu), graph.VertexID(pv))
+		}
+		return true
+	})
+	return parent, cb.MustBuild()
+}
+
+// growRegions BFS-grows n regions of roughly equal weight over the
+// coarsest graph.
+func growRegions(g *graph.Graph, n int, weight []int) []int {
+	nv := g.NumVertices()
+	assign := make([]int, nv)
+	for i := range assign {
+		assign[i] = -1
+	}
+	total := 0
+	for _, w := range weight {
+		total += w
+	}
+	target := (total + n - 1) / n
+	frag := 0
+	load := 0
+	var queue []graph.VertexID
+	pop := func() (graph.VertexID, bool) {
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			if assign[v] < 0 {
+				return v, true
+			}
+		}
+		return 0, false
+	}
+	seedFrom := 0
+	for {
+		v, ok := pop()
+		if !ok {
+			for seedFrom < nv && assign[seedFrom] >= 0 {
+				seedFrom++
+			}
+			if seedFrom == nv {
+				break
+			}
+			v = graph.VertexID(seedFrom)
+		}
+		assign[v] = frag
+		load += weight[v]
+		for _, w := range g.OutNeighbors(v) {
+			queue = append(queue, w)
+		}
+		for _, w := range g.InNeighbors(v) {
+			queue = append(queue, w)
+		}
+		if load >= target && frag < n-1 {
+			frag++
+			load = 0
+			queue = queue[:0]
+		}
+	}
+	return assign
+}
+
+// refineAssignment runs a size-constrained label-propagation sweep at
+// one uncoarsening level.
+func refineAssignment(g *graph.Graph, assign []int, n int, slack float64) []int {
+	nv := g.NumVertices()
+	sizes := make([]int, n)
+	for _, a := range assign {
+		sizes[a]++
+	}
+	capLimit := int((1+slack)*float64(nv)/float64(n)) + 1
+	votes := make([]int, n)
+	for pass := 0; pass < 2; pass++ {
+		moved := 0
+		for v := 0; v < nv; v++ {
+			for i := range votes {
+				votes[i] = 0
+			}
+			for _, w := range g.OutNeighbors(graph.VertexID(v)) {
+				votes[assign[w]]++
+			}
+			for _, w := range g.InNeighbors(graph.VertexID(v)) {
+				votes[assign[w]]++
+			}
+			cur := assign[v]
+			best := cur
+			for i := 0; i < n; i++ {
+				if i != cur && sizes[i] < capLimit && votes[i] > votes[best] {
+					best = i
+				}
+			}
+			if best != cur {
+				assign[v] = best
+				sizes[cur]--
+				sizes[best]++
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+	return assign
+}
+
+// DBHVertexCut implements degree-based hashing (Xie et al.): each edge
+// is assigned by hashing its lower-degree endpoint, so high-degree
+// vertices are the ones replicated. A one-line but strong vertex-cut
+// baseline.
+func DBHVertexCut(g *graph.Graph, n int) (*partition.Partition, error) {
+	assigner := func(s, d graph.VertexID) int {
+		pick := s
+		if g.Degree(d) < g.Degree(s) || (g.Degree(d) == g.Degree(s) && d < s) {
+			pick = d
+		}
+		return int(mix(uint64(pick)) % uint64(n))
+	}
+	return partition.FromEdgeAssignment(g, assigner, n)
+}

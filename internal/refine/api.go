@@ -1,0 +1,58 @@
+package refine
+
+import (
+	"adp/internal/costmodel"
+	"adp/internal/partition"
+	"adp/internal/partitioner"
+)
+
+// ParE2H is the parallel (BSP-batched) E2H of Section 5.3.
+func ParE2H(p *partition.Partition, m costmodel.CostModel, cfg Config) *Stats {
+	cfg.Parallel = true
+	return E2H(p, m, cfg)
+}
+
+// ParV2H is the parallel (BSP-batched) V2H of Section 5.3.
+func ParV2H(p *partition.Partition, m costmodel.CostModel, cfg Config) *Stats {
+	cfg.Parallel = true
+	return V2H(p, m, cfg)
+}
+
+// VMergeSweep runs the VMerge phase alone on p against an explicit
+// budget, returning the number of v-cut nodes merged. The composite
+// partitioner MV2H reuses it per target partition.
+func VMergeSweep(p *partition.Partition, m costmodel.CostModel, budget float64) int {
+	tr := costmodel.NewTracker(p, m)
+	total := 0
+	for pass := 0; pass < 8; pass++ {
+		st := &Stats{}
+		if vMergePass(tr, budget, st) == 0 {
+			break
+		}
+		total += st.Merged
+	}
+	return total
+}
+
+// MAssignOnly runs the MAssign phase alone on p, returning how many
+// masters moved. The composite partitioners reuse it per target
+// partition.
+func MAssignOnly(p *partition.Partition, m costmodel.CostModel) int {
+	tr := costmodel.NewTracker(p, m)
+	return mAssign(tr)
+}
+
+// ForFamily refines p in place with the refiner matching the family of
+// the baseline that produced it: E2H for edge-cuts, V2H for
+// vertex-cuts. Hybrid baselines are returned untouched with nil stats,
+// mirroring the paper ("we do not extend Ginger and TopoX as they
+// already produce hybrid partitions").
+func ForFamily(fam partitioner.Family, p *partition.Partition, m costmodel.CostModel, cfg Config) *Stats {
+	switch fam {
+	case partitioner.EdgeCutFamily:
+		return ParE2H(p, m, cfg)
+	case partitioner.VertexCutFamily:
+		return ParV2H(p, m, cfg)
+	}
+	return nil
+}

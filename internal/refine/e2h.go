@@ -1,0 +1,187 @@
+package refine
+
+import (
+	"sort"
+	"time"
+
+	"adp/internal/costmodel"
+	"adp/internal/graph"
+	"adp/internal/partition"
+)
+
+// E2H extends the edge-cut partition p into a hybrid partition that
+// reduces the parallel cost of the algorithm modelled by m (Fig. 3).
+// The partition is refined in place.
+func E2H(p *partition.Partition, m costmodel.CostModel, cfg Config) *Stats {
+	cfg.defaults()
+	start := time.Now()
+	tr := costmodel.NewTracker(p, m)
+	stats := &Stats{}
+
+	// Budget B = average computational cost (line 1).
+	var total float64
+	for i := 0; i < p.NumFragments(); i++ {
+		total += tr.Comp(i)
+	}
+	budget := total / float64(p.NumFragments())
+	stats.Budget = budget
+
+	over, under := classify(tr, budget)
+	var candidates []candidate
+	for _, i := range over {
+		candidates = append(candidates, getCandidates(tr, i, budget, !cfg.ArbitraryCandidates)...)
+	}
+
+	// Phase 1: EMigrate (lines 6-10).
+	t0 := time.Now()
+	var leftover []candidate
+	if cfg.Parallel {
+		leftover = parallelMigrate(tr, candidates, under, budget, cfg.BatchSize, eMigrateProbe, eMigrateApply, stats)
+	} else {
+		for _, c := range candidates {
+			if !eMigrateTry(tr, c, under, budget, stats) {
+				leftover = append(leftover, c)
+			}
+		}
+	}
+	stats.PhaseDurations[0] = time.Since(t0)
+
+	// Phase 2: ESplit (lines 11-14).
+	if cfg.Phases >= 2 {
+		t1 := time.Now()
+		for _, c := range leftover {
+			eSplit(tr, c, stats)
+		}
+		stats.PhaseDurations[1] = time.Since(t1)
+	}
+
+	// Phase 3: MAssign (line 15).
+	if cfg.Phases >= 3 {
+		t2 := time.Now()
+		stats.MastersMoved = mAssign(tr)
+		stats.PhaseDurations[2] = time.Since(t2)
+	}
+	stats.Total = time.Since(start)
+	return stats
+}
+
+// eMigrateProbe evaluates whether candidate c fits fragment j within
+// the budget: ChA(Fj ∪ {(v, Evi)}) ≤ B, approximated by Fj's tracked
+// cost plus the candidate's hypothetical contribution as a complete
+// copy (its local degrees become its global degrees).
+func eMigrateProbe(tr *costmodel.Tracker, c candidate, j int, budget float64) bool {
+	p := tr.Partition()
+	g := p.Graph()
+	h := tr.HypotheticalComp(c.v, g.InDegree(c.v), g.OutDegree(c.v), p.Replication(c.v), false)
+	return tr.Comp(j)+h <= budget
+}
+
+// eMigrateApply performs the accepted migration.
+func eMigrateApply(tr *costmodel.Tracker, c candidate, j int, stats *Stats) {
+	touched := moveECutVertex(tr.Partition(), c.v, c.frag, j)
+	refreshAll(tr, touched)
+	stats.Migrated++
+}
+
+// eMigrateTry is the sequential EMigrate inner loop: offer the
+// candidate to each underloaded fragment in turn.
+func eMigrateTry(tr *costmodel.Tracker, c candidate, under []int, budget float64, stats *Stats) bool {
+	for _, j := range under {
+		if j == c.frag {
+			continue
+		}
+		if eMigrateProbe(tr, c, j, budget) {
+			eMigrateApply(tr, c, j, stats)
+			return true
+		}
+	}
+	return false
+}
+
+// eSplit cuts the remaining candidate into v-cut pieces, moving its
+// incident arcs one by one to the fragment with the minimum
+// computational cost (lines 11-14).
+func eSplit(tr *costmodel.Tracker, c candidate, stats *Stats) {
+	p := tr.Partition()
+	adj := p.Fragment(c.frag).Adjacency(c.v)
+	if adj == nil {
+		return
+	}
+	type arc struct{ u, w graph.VertexID }
+	var arcs []arc
+	for _, w := range adj.Out {
+		arcs = append(arcs, arc{c.v, w})
+	}
+	// For undirected graphs the Out list already names every incident
+	// edge; the symmetric pair moves together inside moveSingleArc.
+	if !p.Graph().Undirected() {
+		for _, w := range adj.In {
+			arcs = append(arcs, arc{w, c.v})
+		}
+	}
+	sort.Slice(arcs, func(a, b int) bool {
+		if arcs[a].u != arcs[b].u {
+			return arcs[a].u < arcs[b].u
+		}
+		return arcs[a].w < arcs[b].w
+	})
+	for _, a := range arcs {
+		t := argminComp(tr)
+		if t == c.frag {
+			continue // already on the cheapest fragment
+		}
+		touched := moveSingleArc(p, c.frag, t, a.u, a.w, c.v)
+		refreshAll(tr, touched)
+		stats.SplitEdges++
+	}
+}
+
+func argminComp(tr *costmodel.Tracker) int {
+	best := 0
+	for i := 1; i < tr.Partition().NumFragments(); i++ {
+		if tr.Comp(i) < tr.Comp(best) {
+			best = i
+		}
+	}
+	return best
+}
+
+// mAssign implements the MAssign phase (Eq. 5): border masters are
+// re-chosen one pass in ascending vertex order; each vertex's master
+// goes to the copy minimising ChA(Fj) + CgA(Fj) + gjA(v), with CgA
+// accumulated as assignments are made.
+func mAssign(tr *costmodel.Tracker) int {
+	p := tr.Partition()
+	n := p.NumFragments()
+	comm := make([]float64, n)
+	moved := 0
+	type choice struct {
+		v    graph.VertexID
+		frag int
+	}
+	var choices []choice
+	for v := 0; v < p.Graph().NumVertices(); v++ {
+		vid := graph.VertexID(v)
+		if !p.IsBorder(vid) {
+			continue
+		}
+		best, bestCost := -1, 0.0
+		for _, cf := range p.Copies(vid) {
+			j := int(cf)
+			cost := tr.Comp(j) + comm[j] + tr.CommAt(j, vid)
+			if best < 0 || cost < bestCost {
+				best, bestCost = j, cost
+			}
+		}
+		comm[best] += tr.CommAt(best, vid)
+		if p.Master(vid) != best {
+			moved++
+		}
+		choices = append(choices, choice{vid, best})
+	}
+	for _, c := range choices {
+		_ = p.SetMaster(c.v, c.frag)
+		tr.Refresh(c.v)
+	}
+	return moved
+}

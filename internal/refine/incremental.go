@@ -1,0 +1,160 @@
+package refine
+
+import (
+	"fmt"
+
+	"adp/internal/costmodel"
+	"adp/internal/graph"
+	"adp/internal/partition"
+)
+
+// The paper's stated future work is "to develop incremental algorithms
+// that maintain application-driven partitions in response to updates
+// to graphs" (Section 8). ApplyUpdates implements that extension: it
+// carries an existing cost-driven partition over to the updated graph
+// — keeping every surviving arc exactly where it was, routing new
+// edges next to their endpoints — and then rebalances only what the
+// update skewed, by running the cost-driven migration phases whose
+// candidate sets are empty when no fragment exceeds the budget.
+// Compared to re-partitioning from scratch, placement churn is limited
+// to the neighbourhood of the update.
+
+// UpdateStats extends Stats with carry-over accounting.
+type UpdateStats struct {
+	Stats
+	CarriedArcs int // arcs kept at their previous fragment
+	RoutedArcs  int // newly inserted arcs placed by locality
+	DroppedArcs int // deleted arcs removed from fragments
+}
+
+// ApplyUpdates returns a partition of the updated graph (the original
+// graph with deletes removed and inserts added) that preserves the
+// placement of p wherever possible and is re-refined for the cost
+// model m. The input partition is not modified.
+func ApplyUpdates(p *partition.Partition, m costmodel.CostModel, inserts, deletes []graph.Edge, cfg Config) (*partition.Partition, *UpdateStats, error) {
+	old := p.Graph()
+	deleted := make(map[uint64]bool, len(deletes))
+	key := func(u, v graph.VertexID) uint64 { return uint64(u)<<32 | uint64(v) }
+	for _, e := range deletes {
+		deleted[key(e.Src, e.Dst)] = true
+		if old.Undirected() {
+			deleted[key(e.Dst, e.Src)] = true
+		}
+	}
+	// Build the updated graph.
+	n := old.NumVertices()
+	for _, e := range inserts {
+		if int(e.Src) >= n {
+			n = int(e.Src) + 1
+		}
+		if int(e.Dst) >= n {
+			n = int(e.Dst) + 1
+		}
+	}
+	var gb *graph.Builder
+	if old.Undirected() {
+		gb = graph.NewUndirectedBuilder(n)
+	} else {
+		gb = graph.NewBuilder(n)
+	}
+	old.Edges(func(u, v graph.VertexID) bool {
+		if old.Undirected() && u > v {
+			return true
+		}
+		if !deleted[key(u, v)] {
+			gb.AddEdge(u, v)
+		}
+		return true
+	})
+	for _, e := range inserts {
+		gb.AddEdge(e.Src, e.Dst)
+	}
+	ng, err := gb.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("refine: rebuilding updated graph: %w", err)
+	}
+
+	stats := &UpdateStats{}
+	np := partition.NewEmpty(ng, p.NumFragments())
+	// Carry surviving arcs over in place.
+	for i := 0; i < p.NumFragments(); i++ {
+		f := p.Fragment(i)
+		f.Vertices(func(v graph.VertexID, adj *partition.Adj) {
+			for _, w := range adj.Out {
+				if deleted[key(v, w)] {
+					stats.DroppedArcs++
+					continue
+				}
+				np.AddArc(i, v, w)
+				stats.CarriedArcs++
+			}
+		})
+	}
+	// Preserve owners and masters where the copy survived.
+	for v := 0; v < old.NumVertices(); v++ {
+		vid := graph.VertexID(v)
+		if o := p.Owner(vid); o >= 0 && np.Fragment(o).Has(vid) {
+			np.SetOwner(vid, o)
+		}
+		if mfrag := p.Master(vid); mfrag >= 0 && np.Fragment(mfrag).Has(vid) {
+			_ = np.SetMaster(vid, mfrag)
+		}
+	}
+	// Route inserted edges next to their endpoints: the fragment
+	// already holding the most copies of the endpoints wins; brand-new
+	// vertices follow their neighbour.
+	for _, e := range inserts {
+		dst := routeFragment(np, e.Src, e.Dst)
+		np.AddEdge(dst, e.Src, e.Dst)
+		stats.RoutedArcs++
+	}
+	// Vertices that lost every arc (or brand-new isolated ids) still
+	// need a home.
+	for v := 0; v < ng.NumVertices(); v++ {
+		if len(np.Copies(graph.VertexID(v))) == 0 {
+			np.AddVertex(v%np.NumFragments(), graph.VertexID(v))
+		}
+	}
+
+	// Rebalance: the standard cost-driven phases; with an unskewed
+	// update the candidate sets are empty and this is a cheap
+	// evaluation pass.
+	s := E2H(np, m, cfg)
+	stats.Stats = *s
+	return np, stats, nil
+}
+
+// routeFragment picks the fragment with the strongest presence of the
+// edge's endpoints (owner copies count double), defaulting to the
+// least-loaded fragment for fresh vertices.
+func routeFragment(p *partition.Partition, u, v graph.VertexID) int {
+	votes := make([]int, p.NumFragments())
+	for _, vid := range []graph.VertexID{u, v} {
+		if int(vid) >= p.Graph().NumVertices() {
+			continue
+		}
+		for _, c := range p.Copies(vid) {
+			votes[c]++
+			if p.Owner(vid) == int(c) {
+				votes[c]++
+			}
+		}
+	}
+	best, bestVotes := 0, -1
+	for i, n := range votes {
+		if n > bestVotes {
+			best, bestVotes = i, n
+		}
+	}
+	if bestVotes > 0 {
+		return best
+	}
+	// No presence anywhere: least-loaded fragment.
+	best = 0
+	for i := 1; i < p.NumFragments(); i++ {
+		if p.Fragment(i).NumArcs() < p.Fragment(best).NumArcs() {
+			best = i
+		}
+	}
+	return best
+}

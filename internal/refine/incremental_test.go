@@ -1,0 +1,153 @@
+package refine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"adp/internal/algorithms"
+	"adp/internal/costmodel"
+	"adp/internal/engine"
+	"adp/internal/graph"
+)
+
+func TestApplyUpdatesCarriesPlacement(t *testing.T) {
+	g := skewedDirected()
+	m := costmodel.Reference(costmodel.PR)
+	p := hubConcentratedEdgeCut(t, g, 4)
+	E2H(p, m, Config{})
+
+	// A light update: 50 random inserts, 50 deletes of existing edges.
+	rng := rand.New(rand.NewSource(5))
+	edges := g.EdgeList()
+	var deletes []graph.Edge
+	for _, idx := range rng.Perm(len(edges))[:50] {
+		deletes = append(deletes, edges[idx])
+	}
+	var inserts []graph.Edge
+	for len(inserts) < 50 {
+		u := graph.VertexID(rng.Intn(g.NumVertices()))
+		v := graph.VertexID(rng.Intn(g.NumVertices()))
+		if u != v && !g.HasEdge(u, v) {
+			inserts = append(inserts, graph.Edge{Src: u, Dst: v})
+		}
+	}
+	np, stats, err := ApplyUpdates(p, m, inserts, deletes, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := np.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.RoutedArcs != 50 {
+		t.Errorf("routed %d arcs, want 50", stats.RoutedArcs)
+	}
+	if stats.DroppedArcs < 50 {
+		t.Errorf("dropped %d arcs, want ≥ 50 (replicated cut arcs drop per copy)", stats.DroppedArcs)
+	}
+	// Placement churn must be local: the vast majority of vertices
+	// keep their owner fragment.
+	moved := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		vid := graph.VertexID(v)
+		if p.Owner(vid) >= 0 && np.Owner(vid) >= 0 && p.Owner(vid) != np.Owner(vid) {
+			moved++
+		}
+	}
+	if frac := float64(moved) / float64(g.NumVertices()); frac > 0.10 {
+		t.Errorf("%.1f%% of owners moved after a light update; maintenance should be local", frac*100)
+	}
+	// The maintained partition still runs PR correctly on the NEW
+	// graph.
+	want := algorithms.SeqOutcome(np.Graph(), costmodel.PR, algorithms.Options{})
+	got, err := algorithms.Run(engine.NewCluster(np), costmodel.PR, algorithms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Value-want.Value) > 1e-6*(1+math.Abs(want.Value)) {
+		t.Fatalf("PR over maintained partition: %v vs oracle %v", got.Value, want.Value)
+	}
+}
+
+func TestApplyUpdatesRebalancesSkew(t *testing.T) {
+	g := skewedDirected()
+	m := costmodel.Reference(costmodel.CN)
+	p := hubConcentratedEdgeCut(t, g, 4)
+	E2H(p, m, Config{})
+
+	// A skewing update: attach 300 new in-edges to one vertex owned by
+	// fragment 0, inflating its CN cost quadratically.
+	target := graph.VertexID(0)
+	var inserts []graph.Edge
+	for v := 1; v <= 300; v++ {
+		if !g.HasEdge(graph.VertexID(v), target) {
+			inserts = append(inserts, graph.Edge{Src: graph.VertexID(v), Dst: target})
+		}
+	}
+	np, stats, err := ApplyUpdates(p, m, inserts, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := np.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Migrated == 0 && stats.SplitEdges == 0 {
+		t.Error("a skewing update should trigger rebalancing work")
+	}
+	costs := costmodel.Evaluate(np, m)
+	if lam := costmodel.LambdaCost(costs); lam > 1.5 {
+		t.Errorf("maintained partition still skewed: λCN = %v", lam)
+	}
+}
+
+func TestApplyUpdatesGrowsVertexSet(t *testing.T) {
+	g := skewedDirected()
+	m := costmodel.Reference(costmodel.PR)
+	p := hubConcentratedEdgeCut(t, g, 3)
+	// Insert edges touching brand-new vertex ids.
+	nv := graph.VertexID(g.NumVertices())
+	inserts := []graph.Edge{{Src: nv, Dst: 0}, {Src: nv + 1, Dst: nv}, {Src: 1, Dst: nv + 2}}
+	np, _, err := ApplyUpdates(p, m, inserts, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := np.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if np.Graph().NumVertices() != g.NumVertices()+3 {
+		t.Fatalf("vertex set not grown: %d", np.Graph().NumVertices())
+	}
+	// New vertices landed near their neighbours.
+	if len(np.Copies(nv)) == 0 || len(np.Copies(nv+2)) == 0 {
+		t.Fatal("new vertices unplaced")
+	}
+}
+
+func TestApplyUpdatesUndirected(t *testing.T) {
+	g := skewedUndirected()
+	m := costmodel.Reference(costmodel.TC)
+	p := hubConcentratedEdgeCut(t, g, 3)
+	E2H(p, m, Config{})
+	var deletes []graph.Edge
+	g.Edges(func(u, v graph.VertexID) bool {
+		if u < v && len(deletes) < 20 {
+			deletes = append(deletes, graph.Edge{Src: u, Dst: v})
+		}
+		return len(deletes) < 20
+	})
+	np, _, err := ApplyUpdates(p, m, nil, deletes, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := np.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := algorithms.TCSeq(np.Graph())
+	got, _, err := algorithms.RunTC(engine.NewCluster(np))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("TC over maintained partition = %d, want %d", got, want)
+	}
+}

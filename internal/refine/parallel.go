@@ -1,0 +1,99 @@
+package refine
+
+import (
+	"sort"
+	"sync"
+
+	"adp/internal/costmodel"
+)
+
+// probeFunc decides whether a candidate fits fragment j within the
+// budget; it must be read-only so probes can run concurrently.
+type probeFunc func(tr *costmodel.Tracker, c candidate, j int, budget float64) bool
+
+// applyFunc performs an accepted migration.
+type applyFunc func(tr *costmodel.Tracker, c candidate, j int, stats *Stats)
+
+// parallelMigrate is the Section-5.3 BSP schedule for the migrate
+// phases: in each superstep every overloaded fragment offers a batch
+// of candidates round-robin to the underloaded workers; destinations
+// probe their batch concurrently against the superstep-start state,
+// then accepted moves are applied at the barrier (with a re-check so a
+// batch cannot overshoot the budget). Rejected candidates carry over
+// to the next destination; candidates rejected everywhere are
+// returned for ESplit/VMerge.
+func parallelMigrate(tr *costmodel.Tracker, candidates []candidate, under []int, budget float64,
+	batchSize int, probe probeFunc, apply applyFunc, stats *Stats) []candidate {
+
+	if len(under) == 0 {
+		return candidates
+	}
+	type pending struct {
+		c     candidate
+		tries int
+	}
+	queue := make([]pending, 0, len(candidates))
+	for _, c := range candidates {
+		queue = append(queue, pending{c: c})
+	}
+	var leftover []candidate
+	for len(queue) > 0 {
+		// Each superstep moves at most batchSize candidates per
+		// overloaded fragment.
+		batchBudget := map[int]int{}
+		batch := queue[:0:0]
+		var rest []pending
+		for _, pd := range queue {
+			if batchBudget[pd.c.frag] < batchSize {
+				batchBudget[pd.c.frag]++
+				batch = append(batch, pd)
+			} else {
+				rest = append(rest, pd)
+			}
+		}
+		// Route each batched candidate to its round-robin destination.
+		dest := make([]int, len(batch))
+		for k, pd := range batch {
+			j := under[pd.tries%len(under)]
+			if j == pd.c.frag {
+				pd.tries++
+				batch[k] = pd
+				j = under[pd.tries%len(under)]
+			}
+			dest[k] = j
+		}
+		// Concurrent probe pass against the superstep-start state.
+		verdict := make([]bool, len(batch))
+		var wg sync.WaitGroup
+		for k := range batch {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				verdict[k] = probe(tr, batch[k].c, dest[k], budget)
+			}(k)
+		}
+		wg.Wait()
+		// Apply at the barrier, destination by destination in order,
+		// re-checking so that earlier acceptances are respected.
+		order := make([]int, len(batch))
+		for k := range order {
+			order[k] = k
+		}
+		sort.SliceStable(order, func(a, b int) bool { return dest[order[a]] < dest[order[b]] })
+		for _, k := range order {
+			pd := batch[k]
+			if verdict[k] && probe(tr, pd.c, dest[k], budget) {
+				apply(tr, pd.c, dest[k], stats)
+				continue
+			}
+			pd.tries++
+			if pd.tries >= len(under) {
+				leftover = append(leftover, pd.c)
+			} else {
+				rest = append(rest, pd)
+			}
+		}
+		queue = rest
+	}
+	return leftover
+}

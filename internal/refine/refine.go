@@ -1,0 +1,259 @@
+// Package refine implements the paper's application-driven hybrid
+// partitioners (Section 5): E2H extends any edge-cut partition and V2H
+// any vertex-cut partition into a hybrid partition that reduces the
+// parallel cost max_i CA(Fi) of a given algorithm A, guided by A's
+// learned cost model (hA, gA).
+//
+// Both refiners run in two stages. Stage one balances computational
+// cost against a budget B (the average ChA(Fi)): E2H migrates whole
+// e-cut nodes (EMigrate) and then splits the remainder edge by edge
+// (ESplit); V2H migrates v-cut copies onto existing copies (VMigrate)
+// and merges v-cut nodes back into e-cut nodes (VMerge). Stage two
+// (MAssign) redistributes communication cost by re-choosing master
+// copies; it never increases the computational cost.
+//
+// ParE2H and ParV2H are the Section-5.3 parallelisations: candidates
+// flow in round-robin batches between overloaded and underloaded
+// fragments with cost probes evaluated concurrently, mutations applied
+// at superstep barriers.
+package refine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"adp/internal/costmodel"
+	"adp/internal/graph"
+	"adp/internal/partition"
+)
+
+// Config tunes a refinement run.
+type Config struct {
+	// Phases limits how many phases run (1 = migration only,
+	// 2 = +split/merge, 3 = +MAssign). 0 means all three. Used by the
+	// Fig.-11 phase-decomposition ablation.
+	Phases int
+	// BatchSize is the parallel superstep batch size b of
+	// Section 5.3. 0 means 64.
+	BatchSize int
+	// Parallel enables the BSP-batched schedule with concurrent cost
+	// probes (ParE2H / ParV2H).
+	Parallel bool
+	// ArbitraryCandidates disables the BFS locality order inside
+	// GetCandidates, evicting vertices in plain id order — the
+	// ablation target for the coherent-sub-fragment design choice.
+	ArbitraryCandidates bool
+}
+
+func (c *Config) defaults() {
+	if c.Phases == 0 {
+		c.Phases = 3
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 64
+	}
+}
+
+// Stats reports what a refinement run did.
+type Stats struct {
+	Budget         float64
+	Migrated       int // whole-vertex migrations (EMigrate / VMigrate)
+	SplitEdges     int // edges moved by ESplit
+	Merged         int // v-cut nodes merged by VMerge
+	MastersMoved   int
+	PhaseDurations [3]time.Duration
+	Total          time.Duration
+}
+
+// String summarises the run on one line.
+func (s *Stats) String() string {
+	return fmt.Sprintf("refine{B=%.4g migrated=%d split=%d merged=%d masters=%d in %v}",
+		s.Budget, s.Migrated, s.SplitEdges, s.Merged, s.MastersMoved, s.Total.Round(time.Millisecond))
+}
+
+// candidate is a migration candidate (v, Evi): a vertex of an
+// overloaded fragment marked for migration with its local incident
+// arcs.
+type candidate struct {
+	frag int
+	v    graph.VertexID
+}
+
+// getCandidates implements procedure GetCandidates (Fig. 3): a BFS
+// traversal over the fragment's non-dummy nodes greedily retains a
+// coherent sub-fragment within budget B; everything else is returned
+// as migration candidates in BFS order. With bfs=false the traversal
+// degrades to plain id order (the locality ablation).
+func getCandidates(tr *costmodel.Tracker, i int, budget float64, bfs bool) []candidate {
+	p := tr.Partition()
+	f := p.Fragment(i)
+	ids := f.SortedVertices()
+	if len(ids) == 0 {
+		return nil
+	}
+	order := ids
+	if bfs {
+		// BFS over the fragment-local adjacency, exhaustive and
+		// rooted at the smallest vertex id for determinism.
+		seen := make(map[graph.VertexID]bool, len(ids))
+		order = make([]graph.VertexID, 0, len(ids))
+		queue := make([]graph.VertexID, 0, len(ids))
+		enqueue := func(v graph.VertexID) {
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+		for _, root := range ids {
+			if seen[root] {
+				continue
+			}
+			enqueue(root)
+			for head := len(order); head < len(queue); head++ {
+				v := queue[head]
+				order = append(order, v)
+				adj := f.Adjacency(v)
+				if adj == nil {
+					continue
+				}
+				// Deterministic neighbour order.
+				nbrs := append([]graph.VertexID(nil), adj.Out...)
+				nbrs = append(nbrs, adj.In...)
+				sort.Slice(nbrs, func(a, b int) bool { return nbrs[a] < nbrs[b] })
+				for _, w := range nbrs {
+					if f.Has(w) {
+						enqueue(w)
+					}
+				}
+			}
+		}
+	}
+	kept := 0.0
+	var out []candidate
+	for _, v := range order {
+		st := p.Status(i, v)
+		if st != partition.ECutNode && st != partition.VCutNode {
+			continue // dummies carry no computation
+		}
+		cost := tr.Contribution(i, v)
+		if kept+cost <= budget {
+			kept += cost
+			continue
+		}
+		out = append(out, candidate{frag: i, v: v})
+	}
+	return out
+}
+
+// classify splits fragments into overloaded and underloaded sets
+// against the budget.
+func classify(tr *costmodel.Tracker, budget float64) (over, under []int) {
+	for i := 0; i < tr.Partition().NumFragments(); i++ {
+		if tr.Comp(i) > budget {
+			over = append(over, i)
+		} else {
+			under = append(under, i)
+		}
+	}
+	return over, under
+}
+
+// arcRemovableFrom reports whether the arc (u,w) may be dropped from
+// fragment i after its subject vertex leaves: it must stay only when
+// the other endpoint's copy in i is that vertex's designated e-cut
+// node (which owns all its incident edges).
+func arcRemovableFrom(p *partition.Partition, i int, other graph.VertexID) bool {
+	return p.Status(i, other) != partition.ECutNode
+}
+
+// moveVertexArcs migrates every local incident arc of v from fragment
+// i to fragment j. Arcs needed by another e-cut node of i remain
+// (leaving a dummy copy of v behind, Example 9). For undirected graphs
+// each symmetric pair moves atomically — the removability decision is
+// made once per edge, because mutations can flip a neighbour's e-cut
+// designation mid-move. Returns every vertex whose variables changed.
+func moveVertexArcs(p *partition.Partition, v graph.VertexID, i, j int) []graph.VertexID {
+	adj := p.Fragment(i).Adjacency(v)
+	if adj == nil {
+		return nil
+	}
+	touched := []graph.VertexID{v}
+	if p.Graph().Undirected() {
+		nbrs := append([]graph.VertexID(nil), adj.Out...)
+		for _, w := range nbrs {
+			p.AddEdge(j, v, w)
+			if arcRemovableFrom(p, i, w) {
+				p.RemoveEdge(i, v, w)
+			}
+			touched = append(touched, w)
+		}
+		return touched
+	}
+	outArcs := append([]graph.VertexID(nil), adj.Out...)
+	inArcs := append([]graph.VertexID(nil), adj.In...)
+	for _, w := range outArcs {
+		p.AddArc(j, v, w)
+		if arcRemovableFrom(p, i, w) {
+			p.RemoveArc(i, v, w)
+		}
+		touched = append(touched, w)
+	}
+	for _, w := range inArcs {
+		p.AddArc(j, w, v)
+		if arcRemovableFrom(p, i, w) {
+			p.RemoveArc(i, w, v)
+		}
+		touched = append(touched, w)
+	}
+	return touched
+}
+
+// moveECutVertex is an EMigrate operation: migrate e-cut node v with
+// all its incident arcs from fragment i to fragment j and hand over
+// ownership and mastership.
+func moveECutVertex(p *partition.Partition, v graph.VertexID, i, j int) []graph.VertexID {
+	touched := moveVertexArcs(p, v, i, j)
+	if touched == nil {
+		return nil
+	}
+	p.SetOwner(v, j)
+	if p.Fragment(j).Has(v) {
+		_ = p.SetMaster(v, j)
+	}
+	return touched
+}
+
+// moveSingleArc migrates one arc of vertex v from fragment i to
+// fragment t (an ESplit step). The arc leaves i unless another e-cut
+// node of i needs it. For undirected graphs the symmetric arc pair
+// moves together, preserving the co-location invariant.
+func moveSingleArc(p *partition.Partition, i, t int, u, w graph.VertexID, subject graph.VertexID) []graph.VertexID {
+	other := u
+	if other == subject {
+		other = w
+	}
+	if p.Graph().Undirected() {
+		p.AddEdge(t, u, w)
+		if arcRemovableFrom(p, i, other) {
+			p.RemoveEdge(i, u, w)
+		}
+	} else {
+		p.AddArc(t, u, w)
+		if arcRemovableFrom(p, i, other) {
+			p.RemoveArc(i, u, w)
+		}
+	}
+	return []graph.VertexID{u, w}
+}
+
+// refreshAll refreshes the tracker for a touched-vertex set.
+func refreshAll(tr *costmodel.Tracker, touched []graph.VertexID) {
+	seen := map[graph.VertexID]bool{}
+	for _, v := range touched {
+		if !seen[v] {
+			seen[v] = true
+			tr.Refresh(v)
+		}
+	}
+}

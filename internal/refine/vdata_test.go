@@ -1,0 +1,74 @@
+package refine
+
+import (
+	"testing"
+
+	"adp/internal/costmodel"
+	"adp/internal/gen"
+	"adp/internal/graph"
+	"adp/internal/partition"
+)
+
+// The Section-3.1 remark: when vertices carry mutable payloads (a data
+// array Ary scanned during computation), the cost model must include
+// |Ary| — and a refinement driven by such a model balances *weighted*
+// load that degree-only metrics cannot see.
+func TestVDataWeightedRefinement(t *testing.T) {
+	g := gen.ErdosRenyi(800, 5, true, 33)
+	// Uniform hash partition: perfectly balanced by count.
+	assign := make([]int, g.NumVertices())
+	for v := range assign {
+		assign[v] = v % 4
+	}
+	p, err := partition.FromVertexAssignment(g, assign, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fragment 0's vertices carry payloads 50× larger.
+	for v := 0; v < g.NumVertices(); v += 4 {
+		p.SetVertexWeight(graph.VertexID(v), 50)
+	}
+	// hA ∝ dL+·|Ary|: scanning the payload per incoming message.
+	m := costmodel.CostModel{
+		H: costmodel.Func(func(x costmodel.Vars) float64 {
+			return x[costmodel.DLIn] * x[costmodel.VData]
+		}),
+		G: costmodel.Zero,
+	}
+	before := costmodel.Evaluate(p, m)
+	if lam := costmodel.LambdaCost(before); lam < 1.0 {
+		t.Fatalf("weighted load should be skewed before refinement, λ = %v", lam)
+	}
+	E2H(p, m, Config{})
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	after := costmodel.Evaluate(p, m)
+	if lam := costmodel.LambdaCost(after); lam > 0.5 {
+		t.Fatalf("weighted load still skewed after refinement, λ = %v", lam)
+	}
+	if costmodel.ParallelCost(after) >= costmodel.ParallelCost(before) {
+		t.Fatal("weighted refinement did not reduce the parallel cost")
+	}
+}
+
+// Weights survive cloning and default to 1.
+func TestVertexWeightPlumbing(t *testing.T) {
+	g := gen.ErdosRenyi(20, 2, true, 1)
+	p, err := partition.FromVertexAssignment(g, make([]int, 20), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.VertexWeight(3) != 1 {
+		t.Fatal("default weight not 1")
+	}
+	p.SetVertexWeight(3, 7)
+	q := p.Clone()
+	if q.VertexWeight(3) != 7 || q.VertexWeight(4) != 1 {
+		t.Fatal("weights lost in clone")
+	}
+	x := costmodel.Extract(p, 0, 3)
+	if x[costmodel.VData] != 7 {
+		t.Fatalf("Extract VData = %v", x[costmodel.VData])
+	}
+}

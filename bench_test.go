@@ -5,7 +5,15 @@ import (
 	"sync"
 	"testing"
 
+	"adp/internal/algorithms"
 	"adp/internal/bench"
+	"adp/internal/costmodel"
+	"adp/internal/engine"
+	"adp/internal/gen"
+	"adp/internal/partition"
+	"adp/internal/partitioner"
+	"adp/internal/pool"
+	"adp/internal/refine"
 )
 
 // Each benchmark regenerates one table or figure of the paper's
@@ -80,3 +88,85 @@ func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablation") }
 // Contribution (3): Ginger's manual degree threshold vs the learned
 // cost model.
 func BenchmarkGingerSweep(b *testing.B) { benchExperiment(b, "gingersweep") }
+
+// poolModes are the two scheduling strategies the runtime guards
+// compare: the shared bounded pool every hot path now runs on, and the
+// goroutine-per-item fan-out it replaced (pool.Unbounded, kept only as
+// this baseline).
+var poolModes = []struct {
+	name string
+	pl   func() *pool.Pool
+}{
+	{"pooled", pool.Default},
+	{"spawn-per-item", pool.Unbounded},
+}
+
+var migrateFixture struct {
+	once sync.Once
+	base *partition.Partition
+	m    costmodel.CostModel
+}
+
+func migrateSetup(b *testing.B) (*partition.Partition, costmodel.CostModel) {
+	b.Helper()
+	migrateFixture.once.Do(func() {
+		g := gen.PowerLaw(gen.PowerLawConfig{N: 4000, AvgDeg: 8, Exponent: 2.0, Directed: true, Seed: 17})
+		assign := make([]int, g.NumVertices())
+		// Concentrate the low-id hubs in fragment 0 so the refiner has
+		// real migration pressure (the Example-1 pathology).
+		for v := range assign {
+			assign[v] = v * 4 / len(assign)
+		}
+		p, err := partition.FromVertexAssignment(g, assign, 4)
+		if err != nil {
+			panic(err)
+		}
+		migrateFixture.base = p
+		migrateFixture.m = costmodel.Reference(costmodel.CN)
+	})
+	return migrateFixture.base, migrateFixture.m
+}
+
+// BenchmarkParallelMigrate guards the refiner hot path: the full
+// ParE2H schedule (concurrent probe passes at every superstep) on the
+// shared pool versus the goroutine-per-probe baseline. allocs/op is
+// the headline number — per-item spawning pays two allocations per
+// probe before any refinement work happens.
+func BenchmarkParallelMigrate(b *testing.B) {
+	base, m := migrateSetup(b)
+	for _, mode := range poolModes {
+		b.Run(mode.name, func(b *testing.B) {
+			pl := mode.pl()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := base.Clone()
+				refine.ParE2H(p, m, refine.Config{Pool: pl})
+			}
+		})
+	}
+}
+
+// BenchmarkEngineRun guards the BSP engine: five PageRank supersteps
+// over an 8-fragment cluster, scheduled on the shared pool versus
+// goroutine-per-fragment spawning, allocs/op reported.
+func BenchmarkEngineRun(b *testing.B) {
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 6000, AvgDeg: 8, Exponent: 2.1, Directed: true, Seed: 23})
+	p, err := partitioner.FennelEdgeCut(g, 8, partitioner.FennelConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := algorithms.Options{PRIterations: 5}
+	for _, mode := range poolModes {
+		b.Run(mode.name, func(b *testing.B) {
+			pl := mode.pl()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := algorithms.Run(engine.NewCluster(p).UsePool(pl), costmodel.PR, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -2,21 +2,34 @@
 //
 // Usage:
 //
-//	adbench list              # show available experiment ids
-//	adbench all               # run every experiment in paper order
-//	adbench table3 fig9b ...  # run selected experiments
+//	adbench list                   # show available experiment ids
+//	adbench all                    # run every experiment in paper order
+//	adbench table3 fig9b ...       # run selected experiments
+//	adbench -workers 1 all         # deterministic single-threaded run
+//
+// Every table's numbers are identical for any -workers value (the
+// shared pool guarantees schedule-independent output); the flag only
+// trades wall time against CPU.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"adp/internal/bench"
+	"adp/internal/pool"
 )
 
 func main() {
-	args := os.Args[1:]
+	workers := flag.Int("workers", 0, "worker-pool size for all parallel phases (0 = GOMAXPROCS, 1 = single-threaded)")
+	flag.Usage = usage
+	flag.Parse()
+	if *workers != 0 {
+		pool.SetDefaultWorkers(*workers)
+	}
+	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
@@ -53,7 +66,10 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `adbench — regenerate the paper's experiments
 usage:
-  adbench list                 list experiment ids
-  adbench all                  run everything
-  adbench <id> [<id> ...]      run selected experiments`)
+  adbench [-workers N] list            list experiment ids
+  adbench [-workers N] all             run everything
+  adbench [-workers N] <id> [<id>...]  run selected experiments
+
+-workers sizes the shared worker pool (0 = GOMAXPROCS). Results are
+identical for every value; only wall time changes.`)
 }

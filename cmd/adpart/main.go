@@ -24,6 +24,7 @@ import (
 	"adp/internal/graph"
 	"adp/internal/partition"
 	"adp/internal/partitioner"
+	"adp/internal/pool"
 	"adp/internal/refine"
 )
 
@@ -35,8 +36,12 @@ func main() {
 		algoName  = flag.String("algo", "PR", "target algorithm (CN|TC|WCC|PR|SSSP) or 'batch' for the composite")
 		symmetric = flag.Bool("undirected", false, "symmetrise the graph (required for TC)")
 		savePath  = flag.String("save", "", "write the refined partition to this file")
+		workers   = flag.Int("workers", 0, "worker-pool size for refinement and simulation (0 = GOMAXPROCS, 1 = single-threaded)")
 	)
 	flag.Parse()
+	if *workers != 0 {
+		pool.SetDefaultWorkers(*workers)
+	}
 
 	g, err := loadGraph(*graphName, *symmetric)
 	if err != nil {

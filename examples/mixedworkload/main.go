@@ -3,10 +3,15 @@
 // where PageRank, common neighbours and triangle counting must run on
 // the same graph at the same time.
 //
-//	go run ./examples/mixedworkload
+//	go run ./examples/mixedworkload             # pool sized to the machine
+//	go run ./examples/mixedworkload -workers 1  # deterministic single-threaded
+//
+// The printed numbers are identical for every -workers value: the
+// shared worker pool guarantees schedule-independent engine reports.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -17,9 +22,15 @@ import (
 	"adp/internal/gen"
 	"adp/internal/graph"
 	"adp/internal/partitioner"
+	"adp/internal/pool"
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "worker-pool size for refinement and the BSP engine (0 = GOMAXPROCS)")
+	flag.Parse()
+	if *workers != 0 {
+		pool.SetDefaultWorkers(*workers)
+	}
 	// TC needs an undirected view; the whole batch shares it, exactly
 	// as the paper runs its batch on one graph.
 	g := graph.Symmetrize(gen.SocialSmall())

@@ -1,11 +1,13 @@
 package algorithms
 
 import (
+	"runtime"
 	"testing"
 
 	"adp/internal/costmodel"
 	"adp/internal/engine"
 	"adp/internal/partitioner"
+	"adp/internal/pool"
 )
 
 // The engine's cost accounting must be deterministic: two runs of the
@@ -57,6 +59,62 @@ func TestReportsDeterministic(t *testing.T) {
 		}
 		if a.Value != b.Value || a.Checksum != b.Checksum {
 			t.Errorf("%v: results differ across runs", algo)
+		}
+	}
+}
+
+// TestSimCostDeterministicAcrossWorkerCounts pins the pool contract
+// end to end: the engine's Report — and therefore SimCost, the number
+// every Fig-9 table is built from — is bitwise identical whether
+// supersteps run single-threaded, on 4 workers, or on the whole
+// machine. This is what makes bench output portable between hosts.
+func TestSimCostDeterministicAcrossWorkerCounts(t *testing.T) {
+	gd := directedTestGraph()
+	gu := undirectedTestGraph()
+	pd, err := partitioner.FennelEdgeCut(gd, 4, partitioner.FennelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pu, err := partitioner.GridVertexCut(gu, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{CNTheta: 50, SSSPSource: 2, PRIterations: 4}
+	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, algo := range costmodel.Algos() {
+		p := pd
+		if algo == costmodel.TC {
+			p = pu
+		}
+		var ref Outcome
+		for i, w := range counts {
+			pl := pool.New(w)
+			out, err := Run(engine.NewCluster(p).UsePool(pl), algo, opts)
+			pl.Close()
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", algo, w, err)
+			}
+			if i == 0 {
+				ref = out
+				continue
+			}
+			if got, want := out.Report.SimCost(engine.DefaultBytesWeight), ref.Report.SimCost(engine.DefaultBytesWeight); got != want {
+				t.Errorf("%v: SimCost with %d workers = %v, want %v (serial)", algo, w, got, want)
+			}
+			if out.Report.CriticalWork != ref.Report.CriticalWork ||
+				out.Report.CriticalBytes != ref.Report.CriticalBytes ||
+				out.Report.Supersteps != ref.Report.Supersteps {
+				t.Errorf("%v: report shape differs at %d workers: %v vs %v", algo, w, out.Report, ref.Report)
+			}
+			for i := range ref.Report.Work {
+				if out.Report.Work[i] != ref.Report.Work[i] || out.Report.MsgBytes[i] != ref.Report.MsgBytes[i] ||
+					out.Report.MsgCount[i] != ref.Report.MsgCount[i] {
+					t.Errorf("%v: worker %d accounting differs at %d pool workers", algo, i, w)
+				}
+			}
+			if out.Value != ref.Value || out.Checksum != ref.Checksum {
+				t.Errorf("%v: algorithm output differs at %d workers", algo, w)
+			}
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"adp/internal/costmodel"
 	"adp/internal/partitioner"
+	"adp/internal/pool"
 	"adp/internal/refine"
 )
 
@@ -41,42 +42,82 @@ func Fig9Exec(algo costmodel.Algo, dataset, id string) (*Table, error) {
 		t.Header = append(t.Header, fmt.Sprintf("n=%d", n))
 	}
 	model := costmodel.Reference(algo)
+	// Warm the baseline-partition cache once per distinct (base, n)
+	// pair so the concurrent grid below never runs a partitioner
+	// twice for the same key.
+	type warmKey struct {
+		base string
+		n    int
+	}
+	var warm []warmKey
+	seen := map[warmKey]bool{}
+	for _, row := range fig9Rows {
+		for _, n := range fig9NS {
+			k := warmKey{row.base, n}
+			if !seen[k] {
+				seen[k] = true
+				warm = append(warm, k)
+			}
+		}
+	}
+	warmErrs := pool.Map(pool.Default(), len(warm), func(i int) error {
+		_, err := basePartition(ds, warm[i].base, warm[i].n)
+		return err
+	})
+	for _, err := range warmErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Evaluate the whole (variant, n) grid as one pool batch: each
+	// cell clones, refines and simulates independently and writes its
+	// own slot, so the table is deterministic for any worker count.
+	type cell struct {
+		cost float64
+		err  error
+	}
+	cols := len(fig9NS)
+	grid := pool.Map(pool.Default(), len(fig9Rows)*cols, func(idx int) cell {
+		row, n := fig9Rows[idx/cols], fig9NS[idx%cols]
+		base, err := basePartition(ds, row.base, n)
+		if err != nil {
+			return cell{err: err}
+		}
+		p := base
+		if row.refined {
+			spec, _ := partitioner.ByName(row.base)
+			p = base.Clone()
+			refine.ForFamily(spec.Family, p, model, refine.Config{})
+		}
+		cost, err := runCost(p, algo, opts)
+		return cell{cost: cost, err: err}
+	})
 	var sumSpeed, cntSpeed float64
 	baseCost := map[int]map[string]float64{}
-	for _, row := range fig9Rows {
+	for r, row := range fig9Rows {
 		name := row.base
 		if row.refined {
 			name = "H" + name
 		}
 		cells := []string{name}
 		values := []float64{0}
-		for _, n := range fig9NS {
-			base, err := basePartition(ds, row.base, n)
-			if err != nil {
-				return nil, err
+		for c, n := range fig9NS {
+			g := grid[r*cols+c]
+			if g.err != nil {
+				return nil, fmt.Errorf("%s n=%d: %w", name, n, g.err)
 			}
-			p := base
-			if row.refined {
-				spec, _ := partitioner.ByName(row.base)
-				p = base.Clone()
-				refine.ForFamily(spec.Family, p, model, refine.Config{})
-			}
-			cost, err := runCost(p, algo, opts)
-			if err != nil {
-				return nil, fmt.Errorf("%s n=%d: %w", name, n, err)
-			}
-			cells = append(cells, fmtF(cost))
-			values = append(values, cost)
+			cells = append(cells, fmtF(g.cost))
+			values = append(values, g.cost)
 			if baseCost[n] == nil {
 				baseCost[n] = map[string]float64{}
 			}
 			if row.refined {
-				if b := baseCost[n][row.base]; b > 0 && cost > 0 {
-					sumSpeed += b / cost
+				if b := baseCost[n][row.base]; b > 0 && g.cost > 0 {
+					sumSpeed += b / g.cost
 					cntSpeed++
 				}
 			} else {
-				baseCost[n][row.base] = cost
+				baseCost[n][row.base] = g.cost
 			}
 		}
 		t.addRow(cells, values)

@@ -10,6 +10,7 @@ import (
 	"adp/internal/engine"
 	"adp/internal/partition"
 	"adp/internal/partitioner"
+	"adp/internal/pool"
 	"adp/internal/refine"
 )
 
@@ -103,27 +104,41 @@ func Table4() (*Table, error) {
 		}
 		c := &col{}
 		spec, _ := partitioner.ByName(bName)
-		for j, algo := range batchAlgos {
+		// One pool item per algorithm in the batch: each simulates the
+		// composite, baseline and dedicated-refinement runs for its
+		// own slot.
+		type algoCosts struct {
+			m, base, ded float64
+			err          error
+		}
+		runs := pool.Map(pool.Default(), len(batchAlgos), func(j int) algoCosts {
+			algo := batchAlgos[j]
 			mc, err := runCost(r.comp.Partition(j), algo, opts)
 			if err != nil {
-				return nil, fmt.Errorf("M%s/%v: %w", bName, algo, err)
+				return algoCosts{err: fmt.Errorf("M%s/%v: %w", bName, algo, err)}
 			}
 			bc, err := runCost(r.base, algo, opts)
 			if err != nil {
-				return nil, fmt.Errorf("%s/%v: %w", bName, algo, err)
+				return algoCosts{err: fmt.Errorf("%s/%v: %w", bName, algo, err)}
 			}
 			// Dedicated ParHP refinement for the Fig-10a comparison.
 			ded := r.base.Clone()
 			refine.ForFamily(spec.Family, ded, costmodel.Reference(algo), refine.Config{})
 			dc, err := runCost(ded, algo, opts)
 			if err != nil {
-				return nil, err
+				return algoCosts{err: err}
 			}
-			c.mCost = append(c.mCost, mc)
-			c.baseCost = append(c.baseCost, bc)
-			c.mTotal += mc
-			c.baseTot += bc
-			c.parHPTotal += dc
+			return algoCosts{m: mc, base: bc, ded: dc}
+		})
+		for _, ac := range runs {
+			if ac.err != nil {
+				return nil, ac.err
+			}
+			c.mCost = append(c.mCost, ac.m)
+			c.baseCost = append(c.baseCost, ac.base)
+			c.mTotal += ac.m
+			c.baseTot += ac.base
+			c.parHPTotal += ac.ded
 		}
 		cols[bName] = c
 	}

@@ -3,6 +3,7 @@ package costmodel
 import (
 	"adp/internal/graph"
 	"adp/internal/partition"
+	"adp/internal/pool"
 )
 
 // FragCost is the estimated cost of one fragment under a cost model:
@@ -17,21 +18,26 @@ type FragCost struct {
 func (c FragCost) Total() float64 { return c.Comp + c.Comm }
 
 // Evaluate computes the per-fragment costs of algorithm model m on
-// partition p by full enumeration.
+// partition p by full enumeration, one pool item per fragment. Each
+// item accumulates into its own slot over the fragment's sorted
+// vertex order, so the result is deterministic for any worker count.
+// The partition must not be mutated concurrently.
 func Evaluate(p *partition.Partition, m CostModel) []FragCost {
 	costs := make([]FragCost, p.NumFragments())
-	for i := 0; i < p.NumFragments(); i++ {
-		f := p.Fragment(i)
-		f.Vertices(func(v graph.VertexID, _ *partition.Adj) {
-			switch p.Status(i, v) {
-			case partition.ECutNode, partition.VCutNode:
-				costs[i].Comp += m.H.Eval(Extract(p, i, v))
-			}
-			if p.IsBorder(v) && p.Master(v) == i {
-				costs[i].Comm += m.G.Eval(Extract(p, i, v))
-			}
-		})
-	}
+	pool.Default().RunChunks(p.NumFragments(), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f := p.Fragment(i)
+			f.Vertices(func(v graph.VertexID, _ *partition.Adj) {
+				switch p.Status(i, v) {
+				case partition.ECutNode, partition.VCutNode:
+					costs[i].Comp += m.H.Eval(Extract(p, i, v))
+				}
+				if p.IsBorder(v) && p.Master(v) == i {
+					costs[i].Comm += m.G.Eval(Extract(p, i, v))
+				}
+			})
+		}
+	})
 	return costs
 }
 

@@ -15,11 +15,11 @@ package engine
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"adp/internal/graph"
 	"adp/internal/partition"
+	"adp/internal/pool"
 )
 
 // Message is one unit of communication between workers. V names the
@@ -102,12 +102,15 @@ type Cluster struct {
 	computeFrag []int32
 
 	recordCosts bool
+	// pl executes superstep fan-outs and message routing; defaults to
+	// the process-wide shared pool.
+	pl *pool.Pool
 }
 
 // NewCluster prepares a cluster over p. The partition must not be
 // mutated while the cluster is in use.
 func NewCluster(p *partition.Partition) *Cluster {
-	c := &Cluster{p: p, n: p.NumFragments()}
+	c := &Cluster{p: p, n: p.NumFragments(), pl: pool.Default()}
 	c.buildResponsibility()
 	c.workers = make([]*WorkerCtx, c.n)
 	for i := 0; i < c.n; i++ {
@@ -124,6 +127,19 @@ func (c *Cluster) EnableCostRecording() {
 		w.vertexComp = map[graph.VertexID]float64{}
 		w.vertexComm = map[graph.VertexID]float64{}
 	}
+}
+
+// UsePool makes the cluster schedule supersteps and message routing on
+// pl instead of the shared Default pool; pool.Serial() yields the
+// deterministic single-threaded mode. Returns c for chaining. Reports
+// are bitwise identical for any pool size by construction (every
+// superstep writes per-worker slots only); the determinism tests lock
+// this in for worker counts 1, 4 and GOMAXPROCS.
+func (c *Cluster) UsePool(pl *pool.Pool) *Cluster {
+	if pl != nil {
+		c.pl = pl
+	}
+	return c
 }
 
 // Partition returns the partition the cluster executes over.
@@ -192,10 +208,9 @@ func (c *Cluster) Run(init func(w *WorkerCtx), step StepFunc, maxSupersteps int)
 			halts[w.id] = step(w, s, inboxes[w.id])
 		})
 		rep.Supersteps = s + 1
-		// Collect per-superstep critical path and route messages.
+		// Collect the per-superstep critical path.
 		var maxWork float64
 		var maxBytes int64
-		inflight := false
 		for i, w := range c.workers {
 			if w.stepWork > maxWork {
 				maxWork = w.stepWork
@@ -204,21 +219,39 @@ func (c *Cluster) Run(init func(w *WorkerCtx), step StepFunc, maxSupersteps int)
 				maxBytes = w.stepBytes
 			}
 			rep.Work[i] += w.stepWork
-			inboxes[i] = nil
 		}
 		rep.CriticalWork += maxWork
 		rep.CriticalBytes += float64(maxBytes)
-		for _, w := range c.workers {
+		// Message-bus delivery, one pool item per destination: inbox
+		// dst is assembled from every sender's outbox in ascending
+		// sender order, so delivery order is a pure function of the
+		// superstep's sends regardless of pool size.
+		c.pl.Run(c.n, func(dst int) {
+			var in []Message
+			for _, w := range c.workers {
+				if msgs := w.outbox[dst]; len(msgs) > 0 {
+					in = append(in, msgs...)
+				}
+			}
+			inboxes[dst] = in
+		})
+		// Wire accounting and outbox reset, one pool item per sender
+		// (each writes only its own Report slots).
+		c.pl.Run(c.n, func(i int) {
+			w := c.workers[i]
 			for dst, msgs := range w.outbox {
-				if len(msgs) > 0 {
-					inflight = true
-					inboxes[dst] = append(inboxes[dst], msgs...)
-					rep.MsgCount[w.id] += int64(len(msgs))
-					for _, m := range msgs {
-						rep.MsgBytes[w.id] += m.Size()
-					}
+				rep.MsgCount[i] += int64(len(msgs))
+				for _, m := range msgs {
+					rep.MsgBytes[i] += m.Size()
 				}
 				w.outbox[dst] = nil
+			}
+		})
+		inflight := false
+		for i := range inboxes {
+			if len(inboxes[i]) > 0 {
+				inflight = true
+				break
 			}
 		}
 		allHalt := true
@@ -237,16 +270,15 @@ func (c *Cluster) Run(init func(w *WorkerCtx), step StepFunc, maxSupersteps int)
 	return rep, fmt.Errorf("engine: no convergence within %d supersteps", maxSupersteps)
 }
 
+// parallel runs fn once per worker on the cluster's pool. Each
+// invocation only touches its own WorkerCtx (and slot-indexed result
+// slices), so the superstep barrier is exactly the Run return.
 func (c *Cluster) parallel(fn func(w *WorkerCtx)) {
-	var wg sync.WaitGroup
-	wg.Add(c.n)
-	for _, w := range c.workers {
-		go func(w *WorkerCtx) {
-			defer wg.Done()
-			fn(w)
-		}(w)
-	}
-	wg.Wait()
+	c.pl.RunChunks(c.n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(c.workers[i])
+		}
+	})
 }
 
 // WorkerCtx is one BSP worker bound to a fragment. All methods must

@@ -1,6 +1,9 @@
 package partition
 
-import "adp/internal/graph"
+import (
+	"adp/internal/graph"
+	"adp/internal/pool"
+)
 
 // Metrics aggregates the structural quality measures of Section 2.
 type Metrics struct {
@@ -22,15 +25,21 @@ func (p *Partition) NonDummyCount(i int) int {
 	return count
 }
 
-// ComputeMetrics evaluates fv, fe, λv and λe for the partition.
+// ComputeMetrics evaluates fv, fe, λv and λe for the partition. The
+// per-fragment counts accumulate on the shared pool, one slot per
+// fragment; the partition must not be mutated concurrently.
 func (p *Partition) ComputeMetrics() Metrics {
 	n := len(p.frags)
 	vCounts := make([]float64, n)
 	eCounts := make([]float64, n)
+	pool.Default().RunChunks(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			vCounts[i] = float64(p.NonDummyCount(i))
+			eCounts[i] = float64(p.frags[i].NumArcs())
+		}
+	})
 	var vSum, eSum float64
 	for i := range p.frags {
-		vCounts[i] = float64(p.NonDummyCount(i))
-		eCounts[i] = float64(p.frags[i].NumArcs())
 		vSum += vCounts[i]
 		eSum += eCounts[i]
 	}

@@ -36,7 +36,7 @@ func E2H(p *partition.Partition, m costmodel.CostModel, cfg Config) *Stats {
 	t0 := time.Now()
 	var leftover []candidate
 	if cfg.Parallel {
-		leftover = parallelMigrate(tr, candidates, under, budget, cfg.BatchSize, eMigrateProbe, eMigrateApply, stats)
+		leftover = parallelMigrate(cfg.Pool, tr, candidates, under, budget, cfg.BatchSize, eMigrateProbe, eMigrateApply, stats)
 	} else {
 		for _, c := range candidates {
 			if !eMigrateTry(tr, c, under, budget, stats) {

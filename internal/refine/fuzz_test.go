@@ -1,0 +1,90 @@
+package refine
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"adp/internal/costmodel"
+	"adp/internal/gen"
+	"adp/internal/partition"
+	"adp/internal/partitioner"
+	"adp/internal/pool"
+)
+
+// FuzzParallelMigrate cross-checks the parallel refiners against the
+// sequential refiner on small random graphs, mirroring the seeded
+// graph fuzzing of internal/graph/fuzz_test.go. For every generated
+// input it asserts that:
+//
+//   - the sequential (Parallel=false) and BSP-batched schedules start
+//     from the identical budget B, the shared precondition of the
+//     Section-5.3 equivalence argument;
+//   - the parallel schedule is a pure function of its input: worker
+//     counts 1 and GOMAXPROCS yield bitwise-identical Stats and
+//     refined fragment costs;
+//   - every refined partition (sequential and parallel) still passes
+//     the structural Validate invariants, so neither schedule can
+//     corrupt copies, masters or adjacency under concurrency.
+func FuzzParallelMigrate(f *testing.F) {
+	f.Add(int64(1), uint8(40), uint8(4), uint8(0), false)
+	f.Add(int64(7), uint8(90), uint8(6), uint8(1), true)
+	f.Add(int64(42), uint8(25), uint8(3), uint8(2), false)
+	f.Add(int64(99), uint8(120), uint8(5), uint8(4), true)
+	f.Add(int64(-3), uint8(0), uint8(0), uint8(3), true)
+	f.Fuzz(func(t *testing.T, seed int64, nvRaw, degRaw, algoRaw uint8, vertexCut bool) {
+		nv := 16 + int(nvRaw)%140
+		avgDeg := 2 + float64(degRaw%6)
+		algo := costmodel.Algos()[int(algoRaw)%len(costmodel.Algos())]
+		// TC models expect the undirected view; everything else runs
+		// directed, matching the bench drivers.
+		directed := algo != costmodel.TC
+		g := gen.ErdosRenyi(nv, avgDeg, directed, seed)
+		m := costmodel.Reference(algo)
+
+		var base *partition.Partition
+		var err error
+		var run func(p *partition.Partition, m costmodel.CostModel, cfg Config) *Stats
+		if vertexCut {
+			base, err = partitioner.GridVertexCut(g, 3)
+			run = V2H
+		} else {
+			base, err = partitioner.FennelEdgeCut(g, 3, partitioner.FennelConfig{})
+			run = E2H
+		}
+		if err != nil {
+			t.Skip("degenerate partition input")
+		}
+
+		type outcome struct {
+			stats [5]float64
+			costs []costmodel.FragCost
+		}
+		refineWith := func(cfg Config) outcome {
+			p := base.Clone()
+			s := run(p, m, cfg)
+			if verr := p.Validate(); verr != nil {
+				t.Fatalf("refined partition invalid (cfg %+v): %v", cfg, verr)
+			}
+			return outcome{stats: statsFingerprint(s), costs: costmodel.Evaluate(p, m)}
+		}
+
+		seq := refineWith(Config{})
+		serial := pool.Serial()
+		par1 := refineWith(Config{Parallel: true, Pool: serial})
+		serial.Close()
+		wide := pool.New(runtime.GOMAXPROCS(0))
+		parN := refineWith(Config{Parallel: true, Pool: wide})
+		wide.Close()
+
+		if seq.stats[0] != par1.stats[0] {
+			t.Fatalf("budget diverged: sequential %v vs parallel %v", seq.stats[0], par1.stats[0])
+		}
+		if par1.stats != parN.stats {
+			t.Fatalf("parallel stats depend on worker count: serial %v vs GOMAXPROCS %v", par1.stats, parN.stats)
+		}
+		if !reflect.DeepEqual(par1.costs, parN.costs) {
+			t.Fatalf("parallel fragment costs depend on worker count:\n 1: %v\n N: %v", par1.costs, parN.costs)
+		}
+	})
+}

@@ -2,9 +2,9 @@ package refine
 
 import (
 	"sort"
-	"sync"
 
 	"adp/internal/costmodel"
+	"adp/internal/pool"
 )
 
 // probeFunc decides whether a candidate fits fragment j within the
@@ -17,12 +17,13 @@ type applyFunc func(tr *costmodel.Tracker, c candidate, j int, stats *Stats)
 // parallelMigrate is the Section-5.3 BSP schedule for the migrate
 // phases: in each superstep every overloaded fragment offers a batch
 // of candidates round-robin to the underloaded workers; destinations
-// probe their batch concurrently against the superstep-start state,
-// then accepted moves are applied at the barrier (with a re-check so a
-// batch cannot overshoot the budget). Rejected candidates carry over
-// to the next destination; candidates rejected everywhere are
-// returned for ESplit/VMerge.
-func parallelMigrate(tr *costmodel.Tracker, candidates []candidate, under []int, budget float64,
+// probe their batch concurrently against the superstep-start state
+// (on pl, one verdict slot per candidate, so the outcome is identical
+// for any worker count), then accepted moves are applied at the
+// barrier (with a re-check so a batch cannot overshoot the budget).
+// Rejected candidates carry over to the next destination; candidates
+// rejected everywhere are returned for ESplit/VMerge.
+func parallelMigrate(pl *pool.Pool, tr *costmodel.Tracker, candidates []candidate, under []int, budget float64,
 	batchSize int, probe probeFunc, apply applyFunc, stats *Stats) []candidate {
 
 	if len(under) == 0 {
@@ -64,15 +65,9 @@ func parallelMigrate(tr *costmodel.Tracker, candidates []candidate, under []int,
 		}
 		// Concurrent probe pass against the superstep-start state.
 		verdict := make([]bool, len(batch))
-		var wg sync.WaitGroup
-		for k := range batch {
-			wg.Add(1)
-			go func(k int) {
-				defer wg.Done()
-				verdict[k] = probe(tr, batch[k].c, dest[k], budget)
-			}(k)
-		}
-		wg.Wait()
+		pl.Run(len(batch), func(k int) {
+			verdict[k] = probe(tr, batch[k].c, dest[k], budget)
+		})
 		// Apply at the barrier, destination by destination in order,
 		// re-checking so that earlier acceptances are respected.
 		order := make([]int, len(batch))

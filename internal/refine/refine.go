@@ -26,6 +26,7 @@ import (
 	"adp/internal/costmodel"
 	"adp/internal/graph"
 	"adp/internal/partition"
+	"adp/internal/pool"
 )
 
 // Config tunes a refinement run.
@@ -44,6 +45,12 @@ type Config struct {
 	// GetCandidates, evicting vertices in plain id order — the
 	// ablation target for the coherent-sub-fragment design choice.
 	ArbitraryCandidates bool
+	// Pool executes the concurrent probe passes of the parallel
+	// schedule. Nil means the process-wide shared pool; pool.Serial()
+	// gives the deterministic single-threaded mode. Stats are
+	// identical for any pool size: probes are read-only against the
+	// superstep-start state and verdicts land in per-candidate slots.
+	Pool *pool.Pool
 }
 
 func (c *Config) defaults() {
@@ -52,6 +59,9 @@ func (c *Config) defaults() {
 	}
 	if c.BatchSize == 0 {
 		c.BatchSize = 64
+	}
+	if c.Pool == nil {
+		c.Pool = pool.Default()
 	}
 }
 

@@ -36,7 +36,7 @@ func V2H(p *partition.Partition, m costmodel.CostModel, cfg Config) *Stats {
 	// removes one replica.
 	t0 := time.Now()
 	if cfg.Parallel {
-		parallelMigrate(tr, candidates, under, budget, cfg.BatchSize, vMigrateProbe, vMigrateApply, stats)
+		parallelMigrate(cfg.Pool, tr, candidates, under, budget, cfg.BatchSize, vMigrateProbe, vMigrateApply, stats)
 	} else {
 		for _, c := range candidates {
 			for _, j := range under {

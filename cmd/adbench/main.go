@@ -13,22 +13,40 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"adp/internal/bench"
+	"adp/internal/engine"
+	"adp/internal/fault"
 	"adp/internal/pool"
 )
 
 func main() {
 	workers := flag.Int("workers", 0, "worker-pool size for all parallel phases (0 = GOMAXPROCS, 1 = single-threaded)")
+	seed := flag.Int64("seed", 1, "seed for rand:N fault schedules")
+	timeout := flag.Duration("timeout", 0, "abort the remaining experiments after this duration (0 = no timeout)")
+	faultSpec := flag.String("faults", "", `fault schedule injected into every engine run: grammar spec or "rand:N" (costs are unchanged by design)`)
 	flag.Usage = usage
 	flag.Parse()
 	if *workers != 0 {
 		pool.SetDefaultWorkers(*workers)
 	}
+	events, err := fault.FromFlag(*faultSpec, *seed, 8, 8)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adbench:", err)
+		os.Exit(2)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	bench.Configure(engine.Options{Context: ctx, Injector: fault.NewInjector(events...)})
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
@@ -71,5 +89,9 @@ usage:
   adbench [-workers N] <id> [<id>...]  run selected experiments
 
 -workers sizes the shared worker pool (0 = GOMAXPROCS). Results are
-identical for every value; only wall time changes.`)
+identical for every value; only wall time changes.
+-faults injects a deterministic fault schedule (grammar spec or
+"rand:N", drawn from -seed) into every engine run; checkpoint/recovery
+replays to identical barrier state, so every reported cost is
+unchanged. -timeout aborts the remaining experiments cleanly.`)
 }

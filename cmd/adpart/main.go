@@ -12,14 +12,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"adp/internal/algorithms"
 	"adp/internal/composite"
 	"adp/internal/costmodel"
+	"adp/internal/engine"
+	"adp/internal/fault"
 	"adp/internal/gen"
 	"adp/internal/graph"
 	"adp/internal/partition"
@@ -37,11 +41,25 @@ func main() {
 		symmetric = flag.Bool("undirected", false, "symmetrise the graph (required for TC)")
 		savePath  = flag.String("save", "", "write the refined partition to this file")
 		workers   = flag.Int("workers", 0, "worker-pool size for refinement and simulation (0 = GOMAXPROCS, 1 = single-threaded)")
+		seed      = flag.Int64("seed", 1, "seed for rand:N fault schedules")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this duration (0 = no timeout)")
+		faultSpec = flag.String("faults", "", `fault schedule for the simulated run: grammar spec ("crash@1:w0,drop@2:d1#0") or "rand:N"`)
 	)
 	flag.Parse()
 	if *workers != 0 {
 		pool.SetDefaultWorkers(*workers)
 	}
+	events, err := fault.FromFlag(*faultSpec, *seed, *n, 8)
+	if err != nil {
+		fatal(err)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	runOpts := engine.Options{Context: ctx, Injector: fault.NewInjector(events...)}
 
 	g, err := loadGraph(*graphName, *symmetric)
 	if err != nil {
@@ -86,6 +104,22 @@ func main() {
 		costmodel.ParallelCost(before)/costmodel.ParallelCost(after))
 	fmt.Printf("  cost balance λ%v: %.2f -> %.2f\n", algo,
 		costmodel.LambdaCost(before), costmodel.LambdaCost(after))
+	if err := refined.Validate(); err != nil {
+		fatal(fmt.Errorf("refined partition failed validation: %w", err))
+	}
+	// Simulate the target algorithm over the refined partition — with
+	// -faults this exercises checkpoint/recovery, and the reported cost
+	// is identical to the fault-free run by the determinism contract.
+	start = time.Now()
+	out, err := algorithms.Run(engine.NewCluster(refined).Configure(runOpts), algo,
+		algorithms.Options{SSSPSource: 1, PRIterations: 5})
+	if err != nil {
+		fatal(fmt.Errorf("simulated %v run: %w", algo, err))
+	}
+	fmt.Printf("  simulated %v run in %v: cost=%.4g supersteps=%d recoveries=%d redelivered=%d stragglers=%d\n",
+		algo, time.Since(start).Round(time.Millisecond),
+		out.Report.SimCost(engine.DefaultBytesWeight), out.Report.Supersteps,
+		out.Report.Recoveries, out.Report.Redelivered, out.Report.Stragglers)
 	if *savePath != "" {
 		f, err := os.Create(*savePath)
 		if err != nil {

@@ -18,6 +18,15 @@ type CNOptions struct {
 
 type cnState struct {
 	exch *exchState
+	// total is worker 0's aggregate; it lives in State (not a closure)
+	// so a checkpoint rollback rewinds it instead of double-counting
+	// on replay.
+	total CNResult
+}
+
+// Snapshot deep-copies the state for engine checkpointing.
+func (st *cnState) Snapshot() any {
+	return &cnState{exch: st.exch.clone(), total: st.total}
 }
 
 // RunCN enumerates common-out-neighbour triples (u1, u2, w): u1 < u2
@@ -50,7 +59,6 @@ func RunCN(c *engine.Cluster, opts CNOptions) (CNResult, *engine.Report, error) 
 			return need
 		},
 	}
-	var total CNResult
 	step := func(w *engine.WorkerCtx, s int, inbox []engine.Message) bool {
 		switch s {
 		case 0:
@@ -100,10 +108,11 @@ func RunCN(c *engine.Cluster, opts CNOptions) (CNResult, *engine.Report, error) 
 			return false
 		case 3:
 			if w.ID() == 0 {
+				st := w.State.(*cnState)
 				for _, m := range inbox {
 					if m.Kind == kindCNCount {
-						total.Triples += int64(m.Data[0])
-						total.Checksum += uint64(m.Data[1])<<32 | uint64(m.Data[2])
+						st.total.Triples += int64(m.Data[0])
+						st.total.Checksum += uint64(m.Data[1])<<32 | uint64(m.Data[2])
 					}
 				}
 			}
@@ -115,5 +124,9 @@ func RunCN(c *engine.Cluster, opts CNOptions) (CNResult, *engine.Report, error) 
 	if err != nil {
 		return CNResult{}, rep, err
 	}
-	return total, rep, nil
+	st, _ := c.Worker(0).State.(*cnState)
+	if st == nil {
+		return CNResult{}, rep, nil
+	}
+	return st.total, rep, nil
 }

@@ -33,6 +33,56 @@ type exchState struct {
 	pendingOwn map[graph.VertexID]bool
 }
 
+// clone deep-copies the exchange state (adjacency slices included) so
+// checkpointed copies share no memory with the live run.
+func (st *exchState) clone() *exchState {
+	if st == nil {
+		return nil
+	}
+	out := &exchState{pendingOwn: cloneSetMap(st.pendingOwn)}
+	if st.full != nil {
+		out.full = make(map[graph.VertexID][]graph.VertexID, len(st.full))
+		for v, l := range st.full {
+			out.full[v] = append([]graph.VertexID(nil), l...)
+		}
+	}
+	if st.shares != nil {
+		out.shares = make(map[graph.VertexID][][]graph.VertexID, len(st.shares))
+		for v, ls := range st.shares {
+			cp := make([][]graph.VertexID, len(ls))
+			for i, l := range ls {
+				cp[i] = append([]graph.VertexID(nil), l...)
+			}
+			out.shares[v] = cp
+		}
+	}
+	return out
+}
+
+// cloneValMap / cloneSetMap are the shared deep-copy helpers behind
+// the algorithm states' Snapshot methods.
+func cloneValMap(m map[graph.VertexID]float64) map[graph.VertexID]float64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[graph.VertexID]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func cloneSetMap(m map[graph.VertexID]bool) map[graph.VertexID]bool {
+	if m == nil {
+		return nil
+	}
+	out := make(map[graph.VertexID]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
 const (
 	kindAdjShare uint8 = iota + 20
 	kindAdjReq

@@ -26,6 +26,11 @@ type prState struct {
 	partial map[graph.VertexID]float64
 }
 
+// Snapshot deep-copies the state for engine checkpointing.
+func (st *prState) Snapshot() any {
+	return &prState{rank: cloneValMap(st.rank), partial: cloneValMap(st.partial)}
+}
+
 const (
 	kindPartial uint8 = iota + 10
 	kindRank

@@ -58,6 +58,15 @@ type propState struct {
 	synced map[graph.VertexID]bool
 }
 
+// Snapshot deep-copies the state for engine checkpointing.
+func (st *propState) Snapshot() any {
+	return &propState{
+		val:    cloneValMap(st.val),
+		dirty:  cloneSetMap(st.dirty),
+		synced: cloneSetMap(st.synced),
+	}
+}
+
 const (
 	kindToMaster uint8 = iota + 1
 	kindToMirror

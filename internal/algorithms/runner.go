@@ -26,37 +26,45 @@ type Outcome struct {
 	Report   *engine.Report
 }
 
-// Run executes the algorithm over the cluster's partition.
+// Run executes the algorithm over the cluster's partition. On failure
+// the returned Outcome still carries the engine's partial Report (the
+// error is typically an *engine.FailedRunError), so callers can
+// account for interrupted runs instead of discarding them.
 func Run(c *engine.Cluster, algo costmodel.Algo, opts Options) (Outcome, error) {
 	out := Outcome{Algo: algo}
 	switch algo {
 	case costmodel.CN:
 		res, rep, err := RunCN(c, CNOptions{Theta: opts.CNTheta})
 		if err != nil {
+			out.Report = rep
 			return out, err
 		}
 		out.Value, out.Checksum, out.Report = float64(res.Triples), res.Checksum, rep
 	case costmodel.TC:
 		count, rep, err := RunTC(c)
 		if err != nil {
+			out.Report = rep
 			return out, err
 		}
 		out.Value, out.Report = float64(count), rep
 	case costmodel.WCC:
 		res, rep, err := RunWCC(c)
 		if err != nil {
+			out.Report = rep
 			return out, err
 		}
 		out.Value, out.Checksum, out.Report = float64(res.Count), labelChecksum(res.Labels), rep
 	case costmodel.PR:
 		rank, rep, err := RunPR(c, PROptions{Iterations: opts.PRIterations})
 		if err != nil {
+			out.Report = rep
 			return out, err
 		}
 		out.Value, out.Report = weightedSum(rank), rep
 	case costmodel.SSSP:
 		res, rep, err := RunSSSP(c, opts.SSSPSource)
 		if err != nil {
+			out.Report = rep
 			return out, err
 		}
 		reach := 0

@@ -25,6 +25,14 @@ func sortCost(n int) float64 {
 
 type tcState struct {
 	exch *exchState
+	// total is worker 0's aggregate; kept in State so checkpoint
+	// rollback rewinds it (see cnState.total).
+	total int64
+}
+
+// Snapshot deep-copies the state for engine checkpointing.
+func (st *tcState) Snapshot() any {
+	return &tcState{exch: st.exch.clone(), total: st.total}
 }
 
 // RunTC counts the triangles of the cluster's (undirected) graph.
@@ -52,7 +60,6 @@ func RunTC(c *engine.Cluster) (int64, *engine.Report, error) {
 			return need
 		},
 	}
-	var total int64
 	step := func(w *engine.WorkerCtx, s int, inbox []engine.Message) bool {
 		switch s {
 		case 0:
@@ -96,9 +103,10 @@ func RunTC(c *engine.Cluster) (int64, *engine.Report, error) {
 			return false
 		case 3:
 			if w.ID() == 0 {
+				st := w.State.(*tcState)
 				for _, m := range inbox {
 					if m.Kind == kindTCCount {
-						total += int64(m.Data[0])
+						st.total += int64(m.Data[0])
 					}
 				}
 			}
@@ -110,5 +118,9 @@ func RunTC(c *engine.Cluster) (int64, *engine.Report, error) {
 	if err != nil {
 		return 0, rep, err
 	}
-	return total, rep, nil
+	st, _ := c.Worker(0).State.(*tcState)
+	if st == nil {
+		return 0, rep, nil
+	}
+	return st.total, rep, nil
 }

@@ -31,6 +31,10 @@ var fig9Rows = []struct {
 // parallel cost of algo on dataset for every partitioner variant,
 // varying the fragment count.
 func Fig9Exec(algo costmodel.Algo, dataset, id string) (*Table, error) {
+	ctx := benchCtx()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ds := algoDataset(dataset, algo)
 	opts := defaultOpts(dataset)
 	t := &Table{
@@ -69,6 +73,9 @@ func Fig9Exec(algo costmodel.Algo, dataset, id string) (*Table, error) {
 			return nil, err
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Evaluate the whole (variant, n) grid as one pool batch: each
 	// cell clones, refines and simulates independently and writes its
 	// own slot, so the table is deterministic for any worker count.
@@ -95,6 +102,9 @@ func Fig9Exec(algo costmodel.Algo, dataset, id string) (*Table, error) {
 	var sumSpeed, cntSpeed float64
 	baseCost := map[int]map[string]float64{}
 	for r, row := range fig9Rows {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		name := row.base
 		if row.refined {
 			name = "H" + name

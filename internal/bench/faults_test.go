@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"adp/internal/costmodel"
+	"adp/internal/engine"
+	"adp/internal/fault"
+	"adp/internal/gen"
+	"adp/internal/partitioner"
+)
+
+// TestConfiguredFaultsKeepCostsDeterministic: arming the bench layer
+// with an injected schedule must not move a single reported cost —
+// recovery replays to identical barrier state, so the simulated
+// parallel cost is fault-invariant.
+func TestConfiguredFaultsKeepCostsDeterministic(t *testing.T) {
+	defer Configure(engine.Options{})
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 300, AvgDeg: 5, Exponent: 2.2, Directed: true, Seed: 21})
+	p, err := partitioner.HashEdgeCut(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := defaultOpts(DSSocial)
+
+	Configure(engine.Options{})
+	want, err := runCost(p, costmodel.WCC, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Configure(engine.Options{Injector: fault.NewInjector(fault.Random(5, 6, 4, 6)...)})
+	// Two faulty runs back to back: runOptions clones the injector per
+	// run, so the second consumes a fresh schedule, not leftovers.
+	for i := 0; i < 2; i++ {
+		got, err := runCost(p, costmodel.WCC, opts)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("run %d: cost %v under faults, want %v", i, got, want)
+		}
+	}
+}
+
+// TestConfiguredContextCancelsExperiments: a dead configured context
+// aborts an experiment driver before it does any work.
+func TestConfiguredContextCancelsExperiments(t *testing.T) {
+	defer Configure(engine.Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	Configure(engine.Options{Context: ctx})
+	if _, err := Fig9Exec(costmodel.CN, DSSocial, "fig9a"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

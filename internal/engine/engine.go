@@ -14,9 +14,11 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"adp/internal/fault"
 	"adp/internal/graph"
 	"adp/internal/partition"
 	"adp/internal/pool"
@@ -59,6 +61,16 @@ type Report struct {
 	// CriticalBytes is Σ over supersteps of max-per-worker sent
 	// bytes — the BSP communication critical path.
 	CriticalBytes float64
+
+	// Recoveries, Redelivered and Stragglers are fault-tolerance
+	// diagnostics: rollback-replays performed, corrupted delivery
+	// batches redelivered, and straggler delays absorbed. Like
+	// WallTime they are excluded from the determinism contract — a
+	// recovered run matches its fault-free twin on every field above,
+	// not on these.
+	Recoveries  int
+	Redelivered int64
+	Stragglers  int
 }
 
 // DefaultBytesWeight converts a communicated byte into work units for
@@ -105,6 +117,9 @@ type Cluster struct {
 	// pl executes superstep fan-outs and message routing; defaults to
 	// the process-wide shared pool.
 	pl *pool.Pool
+	// opts carries the fault-tolerance knobs; zero value = legacy
+	// behaviour (no checkpoints, no injection).
+	opts Options
 }
 
 // NewCluster prepares a cluster over p. The partition must not be
@@ -184,14 +199,61 @@ func (c *Cluster) buildResponsibility() {
 }
 
 // Run executes the program: init once per worker, then supersteps of
-// step until every worker halts with no messages in flight, or
-// maxSupersteps is reached.
+// step until every worker halts with no messages in flight, or the
+// superstep budget runs out. The budget is maxSupersteps unless
+// Options.MaxSupersteps overrides it; the run context is
+// Options.Context (Background when unset). Every failure — including
+// non-convergence — returns a *FailedRunError carrying the partial
+// Report.
 func (c *Cluster) Run(init func(w *WorkerCtx), step StepFunc, maxSupersteps int) (*Report, error) {
+	ctx := c.opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return c.RunCtx(ctx, init, step, maxSupersteps)
+}
+
+// RunCtx is Run under an explicit context: cancellation is observed
+// at superstep barriers (and between chunk claims inside the compute
+// fan-out), so a deadline or Ctrl-C returns within one barrier with
+// the partial Report and zero leaked goroutines — the pool's helpers
+// are long-lived and simply go idle.
+//
+// When Options arms an Injector or CheckpointEvery, RunCtx snapshots
+// barrier state (worker State via Snapshotter, in-flight inboxes,
+// report accumulators) and recovers injected crashes, transient step
+// errors and step panics by rolling back to the last checkpoint and
+// replaying, GRAPE-style. Because the injector is deterministic and
+// each event fires once, a recovered run's Report matches the
+// fault-free run bitwise (diagnostics and WallTime aside).
+func (c *Cluster) RunCtx(ctx context.Context, init func(w *WorkerCtx), step StepFunc, maxSupersteps int) (*Report, error) {
+	if c.opts.MaxSupersteps > 0 {
+		maxSupersteps = c.opts.MaxSupersteps
+	}
+	inj := c.opts.Injector
+	ckEvery := c.opts.CheckpointEvery
+	if ckEvery <= 0 && inj.Armed() {
+		ckEvery = 1
+	}
+	maxRec := c.opts.MaxRecoveries
+	if maxRec <= 0 {
+		// Every scheduled event fires at most once, so schedule length
+		// plus a margin for step panics always suffices.
+		maxRec = len(inj.Schedule()) + 3
+	}
+
 	start := time.Now()
 	rep := &Report{
 		Work:     make([]float64, c.n),
 		MsgCount: make([]int64, c.n),
 		MsgBytes: make([]int64, c.n),
+	}
+	fail := func(reason string, err error) (*Report, error) {
+		rep.WallTime = time.Since(start)
+		return rep, &FailedRunError{Reason: reason, Report: rep, Err: err}
+	}
+	if err := ctx.Err(); err != nil {
+		return fail("cancelled before start", err)
 	}
 	for _, w := range c.workers {
 		w.reset()
@@ -200,13 +262,98 @@ func (c *Cluster) Run(init func(w *WorkerCtx), step StepFunc, maxSupersteps int)
 		c.parallel(func(w *WorkerCtx) { init(w) })
 	}
 	inboxes := make([][]Message, c.n)
+	var ck *checkpoint
+	lastCk := -1
+	if ckEvery > 0 {
+		var err error
+		if ck, err = c.snapshot(0, inboxes, rep); err != nil {
+			return fail("checkpoint failed", err)
+		}
+		lastCk = 0
+	}
+	attempts := 0
+	redeliv := make([]int64, c.n)
+
 	for s := 0; s < maxSupersteps; s++ {
+		if err := ctx.Err(); err != nil {
+			return fail("cancelled", err)
+		}
+		// Periodic barrier checkpoint.
+		if ck != nil && s > lastCk && s%ckEvery == 0 {
+			nck, err := c.snapshot(s, inboxes, rep)
+			if err != nil {
+				return fail("checkpoint failed", err)
+			}
+			ck, lastCk = nck, s
+		}
+		// Injected worker faults for this barrier, probed in ascending
+		// worker order: a crash aborts the superstep before compute, a
+		// transient error lets compute run and discards it, stragglers
+		// stall the barrier (wall time only).
+		var failEv *fault.Event
+		preFail := false
+		for i := 0; i < c.n && failEv == nil; i++ {
+			for {
+				e, ok := inj.WorkerFault(s, i)
+				if !ok {
+					break
+				}
+				if e.Kind == fault.Straggler {
+					rep.Stragglers++
+					if e.Delay > 0 {
+						time.Sleep(e.Delay)
+					}
+					continue
+				}
+				ev := e
+				failEv, preFail = &ev, e.Kind == fault.Crash
+				break
+			}
+		}
+		rollback := func(cause error) error {
+			attempts++
+			rep.Recoveries++
+			if attempts > maxRec {
+				return cause
+			}
+			c.restore(ck, inboxes, rep)
+			s = ck.next - 1 // loop increment resumes at ck.next
+			return nil
+		}
+		if failEv != nil && preFail {
+			if err := rollback(fmt.Errorf("injected fault: %s", failEv)); err != nil {
+				return fail("recovery budget exhausted", err)
+			}
+			continue
+		}
 		halts := make([]bool, c.n)
-		c.parallel(func(w *WorkerCtx) {
+		stepPanic, stepErr := c.tryParallelCtx(ctx, func(w *WorkerCtx) {
 			w.stepWork = 0
 			w.stepBytes = 0
 			halts[w.id] = step(w, s, inboxes[w.id])
 		})
+		if stepPanic != nil {
+			if ck == nil {
+				// No fault tolerance configured: propagate like the
+				// pool would have.
+				panic(stepPanic)
+			}
+			if err := rollback(stepPanic); err != nil {
+				return fail("recovery budget exhausted", err)
+			}
+			continue
+		}
+		if stepErr != nil {
+			// Cancelled mid-compute: the partial superstep is
+			// discarded, the report covers completed supersteps only.
+			return fail("cancelled", stepErr)
+		}
+		if failEv != nil {
+			if err := rollback(fmt.Errorf("injected fault: %s", failEv)); err != nil {
+				return fail("recovery budget exhausted", err)
+			}
+			continue
+		}
 		rep.Supersteps = s + 1
 		// Collect the per-superstep critical path.
 		var maxWork float64
@@ -225,7 +372,11 @@ func (c *Cluster) Run(init func(w *WorkerCtx), step StepFunc, maxSupersteps int)
 		// Message-bus delivery, one pool item per destination: inbox
 		// dst is assembled from every sender's outbox in ascending
 		// sender order, so delivery order is a pure function of the
-		// superstep's sends regardless of pool size.
+		// superstep's sends regardless of pool size. The assembled
+		// batch is the reliable-delivery ground truth: an injected
+		// drop/dup corrupts a copy, the per-batch count check detects
+		// it, and the ground truth is "redelivered" — wire accounting
+		// below stays logical, so the Report is unaffected.
 		c.pl.Run(c.n, func(dst int) {
 			var in []Message
 			for _, w := range c.workers {
@@ -233,8 +384,17 @@ func (c *Cluster) Run(init func(w *WorkerCtx), step StepFunc, maxSupersteps int)
 					in = append(in, msgs...)
 				}
 			}
+			if e, ok := inj.DeliveryFault(s, dst); ok && len(in) > 0 {
+				if corrupted := corruptBatch(in, e); len(corrupted) != len(in) {
+					redeliv[dst]++
+				}
+			}
 			inboxes[dst] = in
 		})
+		for dst := range redeliv {
+			rep.Redelivered += redeliv[dst]
+			redeliv[dst] = 0
+		}
 		// Wire accounting and outbox reset, one pool item per sender
 		// (each writes only its own Report slots).
 		c.pl.Run(c.n, func(i int) {
@@ -266,8 +426,7 @@ func (c *Cluster) Run(init func(w *WorkerCtx), step StepFunc, maxSupersteps int)
 			return rep, nil
 		}
 	}
-	rep.WallTime = time.Since(start)
-	return rep, fmt.Errorf("engine: no convergence within %d supersteps", maxSupersteps)
+	return fail(fmt.Sprintf("no convergence within %d supersteps", maxSupersteps), nil)
 }
 
 // parallel runs fn once per worker on the cluster's pool. Each
@@ -279,6 +438,28 @@ func (c *Cluster) parallel(fn func(w *WorkerCtx)) {
 			fn(c.workers[i])
 		}
 	})
+}
+
+// tryParallelCtx is parallel with the failure modes surfaced instead
+// of propagated: a pool worker panic is captured as *pool.Panic (the
+// recovery loop converts it into a rollback), and ctx cancellation
+// stops further worker claims and is returned as the ctx error.
+func (c *Cluster) tryParallelCtx(ctx context.Context, fn func(w *WorkerCtx)) (pv *pool.Panic, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p, ok := r.(*pool.Panic)
+			if !ok {
+				panic(r)
+			}
+			pv = p
+		}
+	}()
+	err = c.pl.RunChunksCtx(ctx, c.n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(c.workers[i])
+		}
+	})
+	return pv, err
 }
 
 // WorkerCtx is one BSP worker bound to a fragment. All methods must

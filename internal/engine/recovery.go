@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"fmt"
+
+	"adp/internal/fault"
+	"adp/internal/graph"
+)
+
+// checkpoint is one globally consistent snapshot taken at a superstep
+// barrier: every worker's algorithm state and outbox, every in-flight
+// inbox, and the report accumulators as of the barrier. Restoring a
+// checkpoint and replaying from ck.next is indistinguishable from a
+// run that never failed — the determinism contract the recovery tests
+// pin down.
+type checkpoint struct {
+	// next is the superstep execution resumes at after a restore.
+	next      int
+	states    []any
+	outboxes  [][][]Message
+	inboxes   [][]Message
+	work      []float64
+	msgCount  []int64
+	msgBytes  []int64
+	critWork  float64
+	critBytes float64
+	comp      []map[graph.VertexID]float64
+	comm      []map[graph.VertexID]float64
+}
+
+// cloneMessages deep-copies a message batch, including payload slices,
+// so replayed supersteps cannot mutate checkpointed traffic.
+func cloneMessages(msgs []Message) []Message {
+	if msgs == nil {
+		return nil
+	}
+	out := make([]Message, len(msgs))
+	for i, m := range msgs {
+		out[i] = Message{V: m.V, Kind: m.Kind}
+		if m.Data != nil {
+			out[i].Data = append([]float64(nil), m.Data...)
+		}
+		if m.Adj != nil {
+			out[i].Adj = append([]graph.VertexID(nil), m.Adj...)
+		}
+	}
+	return out
+}
+
+func cloneVertexMap(m map[graph.VertexID]float64) map[graph.VertexID]float64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[graph.VertexID]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// snapshot captures the barrier state before superstep next. Worker
+// states must be nil or implement Snapshotter (and so must the values
+// Snapshot returns, see the interface contract).
+func (c *Cluster) snapshot(next int, inboxes [][]Message, rep *Report) (*checkpoint, error) {
+	ck := &checkpoint{
+		next:      next,
+		states:    make([]any, c.n),
+		outboxes:  make([][][]Message, c.n),
+		inboxes:   make([][]Message, c.n),
+		work:      append([]float64(nil), rep.Work...),
+		msgCount:  append([]int64(nil), rep.MsgCount...),
+		msgBytes:  append([]int64(nil), rep.MsgBytes...),
+		critWork:  rep.CriticalWork,
+		critBytes: rep.CriticalBytes,
+	}
+	if c.recordCosts {
+		ck.comp = make([]map[graph.VertexID]float64, c.n)
+		ck.comm = make([]map[graph.VertexID]float64, c.n)
+	}
+	for i, w := range c.workers {
+		if w.State != nil {
+			sn, ok := w.State.(Snapshotter)
+			if !ok {
+				return nil, fmt.Errorf("engine: worker %d state %T does not implement Snapshotter", i, w.State)
+			}
+			s := sn.Snapshot()
+			if _, ok := s.(Snapshotter); s != nil && !ok {
+				return nil, fmt.Errorf("engine: worker %d snapshot %T does not implement Snapshotter", i, s)
+			}
+			ck.states[i] = s
+		}
+		outb := make([][]Message, c.n)
+		for d, msgs := range w.outbox {
+			outb[d] = cloneMessages(msgs)
+		}
+		ck.outboxes[i] = outb
+		ck.inboxes[i] = cloneMessages(inboxes[i])
+		if c.recordCosts {
+			ck.comp[i] = cloneVertexMap(w.vertexComp)
+			ck.comm[i] = cloneVertexMap(w.vertexComm)
+		}
+	}
+	return ck, nil
+}
+
+// restore rolls every worker, the in-flight inboxes and the report
+// accumulators back to the checkpoint barrier. Stored states are
+// re-cloned (not handed out) so the checkpoint survives any number of
+// subsequent rollbacks untouched.
+func (c *Cluster) restore(ck *checkpoint, inboxes [][]Message, rep *Report) {
+	for i, w := range c.workers {
+		if ck.states[i] == nil {
+			w.State = nil
+		} else {
+			w.State = ck.states[i].(Snapshotter).Snapshot()
+		}
+		outb := make([][]Message, c.n)
+		for d, msgs := range ck.outboxes[i] {
+			outb[d] = cloneMessages(msgs)
+		}
+		w.outbox = outb
+		inboxes[i] = cloneMessages(ck.inboxes[i])
+		if c.recordCosts {
+			w.vertexComp = cloneVertexMap(ck.comp[i])
+			w.vertexComm = cloneVertexMap(ck.comm[i])
+		}
+	}
+	copy(rep.Work, ck.work)
+	copy(rep.MsgCount, ck.msgCount)
+	copy(rep.MsgBytes, ck.msgBytes)
+	rep.CriticalWork = ck.critWork
+	rep.CriticalBytes = ck.critBytes
+	rep.Supersteps = ck.next
+}
+
+// corruptBatch applies a Drop/Duplicate fault to a copy of the
+// delivery batch. The engine detects the corruption by count mismatch
+// against the assembled ground truth and redelivers — simulating the
+// acknowledge-and-retransmit layer of a real BSP message bus, which
+// is why drop/dup faults never perturb the deterministic Report.
+func corruptBatch(in []Message, e fault.Event) []Message {
+	if len(in) == 0 {
+		return in
+	}
+	k := e.Index % len(in)
+	switch e.Kind {
+	case fault.Drop:
+		out := make([]Message, 0, len(in)-1)
+		out = append(out, in[:k]...)
+		return append(out, in[k+1:]...)
+	case fault.Duplicate:
+		out := make([]Message, 0, len(in)+1)
+		out = append(out, in[:k+1]...)
+		out = append(out, in[k])
+		return append(out, in[k+1:]...)
+	}
+	return in
+}

@@ -1,0 +1,358 @@
+// Package fault provides deterministic fault injection for the BSP
+// runtime. An Injector is armed with a Schedule of events — worker
+// crashes, transient step errors, dropped or duplicated message
+// batches, and simulated stragglers — each pinned to a (superstep,
+// worker) coordinate. Schedules are either written out explicitly
+// (Parse) or generated from a seed (Random); either way a schedule is
+// a pure value, so any run under it is replayable bit for bit.
+//
+// The injector never consults the wall clock or global randomness:
+// whether an event fires depends only on the schedule and the
+// coordinates the engine asks about, which is what makes the
+// engine's recovery-determinism contract testable (see DESIGN.md,
+// "Fault tolerance").
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind uint8
+
+const (
+	// Crash kills a worker at the start of a superstep: its step does
+	// not run and the engine must roll back to the last checkpoint.
+	Crash Kind = iota + 1
+	// Transient is a recoverable per-step failure (poisoned input,
+	// allocation failure): same recovery path as Crash, distinct class
+	// for diagnostics.
+	Transient
+	// Drop removes one message from a delivery batch in flight; the
+	// engine's reliable-delivery layer detects and redelivers.
+	Drop
+	// Duplicate repeats one message of a delivery batch; detected and
+	// deduplicated by the same layer.
+	Duplicate
+	// Straggler delays a worker's step by Event.Delay of wall time.
+	// It perturbs WallTime only — never the deterministic report.
+	Straggler
+)
+
+// String names the kind using the Parse spelling.
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Transient:
+		return "err"
+	case Drop:
+		return "drop"
+	case Duplicate:
+		return "dup"
+	case Straggler:
+		return "slow"
+	}
+	return "invalid"
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	Kind      Kind
+	Superstep int
+	// Worker is the faulting worker for Crash/Transient/Straggler and
+	// the destination worker for Drop/Duplicate.
+	Worker int
+	// Index selects which message of the delivery batch a
+	// Drop/Duplicate targets (taken modulo the batch length).
+	Index int
+	// Delay is the Straggler wall-time delay (default 1ms).
+	Delay time.Duration
+}
+
+// String renders the event in the Parse grammar.
+func (e Event) String() string {
+	switch e.Kind {
+	case Drop, Duplicate:
+		return fmt.Sprintf("%s@%d:d%d#%d", e.Kind, e.Superstep, e.Worker, e.Index)
+	case Straggler:
+		return fmt.Sprintf("%s@%d:w%d:%s", e.Kind, e.Superstep, e.Worker, e.Delay)
+	}
+	return fmt.Sprintf("%s@%d:w%d", e.Kind, e.Superstep, e.Worker)
+}
+
+// Injector arms a schedule of events for one or more engine runs.
+// Every event fires at most once (a crash that fired is consumed, so
+// the recovery replay passes the same coordinate cleanly); Reset
+// re-arms the full schedule. All methods are safe for concurrent use
+// from pool workers; determinism holds because firing depends only on
+// the queried coordinates, never on call order across workers.
+type Injector struct {
+	mu     sync.Mutex
+	events []Event
+	fired  []bool
+}
+
+// NewInjector arms the given schedule. The slice is copied.
+func NewInjector(events ...Event) *Injector {
+	inj := &Injector{events: append([]Event(nil), events...)}
+	inj.fired = make([]bool, len(inj.events))
+	return inj
+}
+
+// Armed reports whether any event is scheduled (fired or not).
+func (inj *Injector) Armed() bool {
+	if inj == nil {
+		return false
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return len(inj.events) > 0
+}
+
+// Schedule returns a copy of the armed schedule.
+func (inj *Injector) Schedule() []Event {
+	if inj == nil {
+		return nil
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return append([]Event(nil), inj.events...)
+}
+
+// Fired returns the events that have fired so far, in schedule order.
+func (inj *Injector) Fired() []Event {
+	if inj == nil {
+		return nil
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	var out []Event
+	for i, f := range inj.fired {
+		if f {
+			out = append(out, inj.events[i])
+		}
+	}
+	return out
+}
+
+// Reset re-arms every event, so the same injector can drive another
+// identical run.
+func (inj *Injector) Reset() {
+	if inj == nil {
+		return
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	for i := range inj.fired {
+		inj.fired[i] = false
+	}
+}
+
+// Clone returns a fresh injector armed with the same schedule and no
+// fired events. Callers that share one schedule across concurrent
+// runs clone per run so each run consumes its own copy.
+func (inj *Injector) Clone() *Injector {
+	if inj == nil {
+		return nil
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return NewInjector(inj.events...)
+}
+
+// take fires and consumes the first unfired event matching the
+// predicate.
+func (inj *Injector) take(match func(Event) bool) (Event, bool) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	for i, e := range inj.events {
+		if !inj.fired[i] && match(e) {
+			inj.fired[i] = true
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// WorkerFault fires the scheduled Crash/Transient/Straggler for
+// worker w at superstep s, if any. The event is consumed.
+func (inj *Injector) WorkerFault(s, w int) (Event, bool) {
+	if inj == nil {
+		return Event{}, false
+	}
+	return inj.take(func(e Event) bool {
+		return e.Superstep == s && e.Worker == w &&
+			(e.Kind == Crash || e.Kind == Transient || e.Kind == Straggler)
+	})
+}
+
+// DeliveryFault fires the scheduled Drop/Duplicate against the batch
+// delivered to worker dst at superstep s, if any. The event is
+// consumed.
+func (inj *Injector) DeliveryFault(s, dst int) (Event, bool) {
+	if inj == nil {
+		return Event{}, false
+	}
+	return inj.take(func(e Event) bool {
+		return e.Superstep == s && e.Worker == dst &&
+			(e.Kind == Drop || e.Kind == Duplicate)
+	})
+}
+
+// Random generates a deterministic schedule of n events from the
+// seed, spread over supersteps [0, maxSuperstep) and workers
+// [0, workers). The same (seed, n, workers, maxSuperstep) always
+// yields the same schedule — the CLI's "-seed N -faults rand:K"
+// reproducibility contract.
+func Random(seed int64, n, workers, maxSuperstep int) []Event {
+	if n <= 0 || workers <= 0 || maxSuperstep <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	kinds := []Kind{Crash, Transient, Drop, Duplicate, Straggler}
+	events := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		e := Event{
+			Kind:      kinds[rng.Intn(len(kinds))],
+			Superstep: rng.Intn(maxSuperstep),
+			Worker:    rng.Intn(workers),
+		}
+		switch e.Kind {
+		case Drop, Duplicate:
+			e.Index = rng.Intn(8)
+		case Straggler:
+			e.Delay = time.Duration(rng.Intn(3)+1) * time.Millisecond
+		}
+		events = append(events, e)
+	}
+	sort.SliceStable(events, func(a, b int) bool {
+		if events[a].Superstep != events[b].Superstep {
+			return events[a].Superstep < events[b].Superstep
+		}
+		return events[a].Worker < events[b].Worker
+	})
+	return events
+}
+
+// Parse reads a comma- or semicolon-separated schedule in the grammar
+// Format/Event.String emit:
+//
+//	crash@S:wW    worker W crashes at superstep S
+//	err@S:wW      worker W sees a transient step error at S
+//	slow@S:wW[:DUR]  worker W straggles at S (DUR a Go duration, default 1ms)
+//	drop@S:dD[#K] message K of the batch delivered to worker D at S is dropped
+//	dup@S:dD[#K]  message K of that batch is duplicated
+func Parse(spec string) ([]Event, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var events []Event
+	for _, tok := range strings.FieldsFunc(spec, func(r rune) bool { return r == ',' || r == ';' }) {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		e, err := parseOne(tok)
+		if err != nil {
+			return nil, fmt.Errorf("fault: bad event %q: %w", tok, err)
+		}
+		events = append(events, e)
+	}
+	return events, nil
+}
+
+func parseOne(tok string) (Event, error) {
+	kind, rest, ok := strings.Cut(tok, "@")
+	if !ok {
+		return Event{}, fmt.Errorf("missing '@'")
+	}
+	e := Event{}
+	switch kind {
+	case "crash":
+		e.Kind = Crash
+	case "err":
+		e.Kind = Transient
+	case "slow":
+		e.Kind = Straggler
+		e.Delay = time.Millisecond
+	case "drop":
+		e.Kind = Drop
+	case "dup":
+		e.Kind = Duplicate
+	default:
+		return Event{}, fmt.Errorf("unknown kind %q", kind)
+	}
+	stepStr, target, ok := strings.Cut(rest, ":")
+	if !ok {
+		return Event{}, fmt.Errorf("missing ':target'")
+	}
+	s, err := strconv.Atoi(stepStr)
+	if err != nil || s < 0 {
+		return Event{}, fmt.Errorf("bad superstep %q", stepStr)
+	}
+	e.Superstep = s
+	switch e.Kind {
+	case Drop, Duplicate:
+		body, idx, hasIdx := strings.Cut(target, "#")
+		if !strings.HasPrefix(body, "d") {
+			return Event{}, fmt.Errorf("drop/dup target must be dN, got %q", target)
+		}
+		w, err := strconv.Atoi(body[1:])
+		if err != nil || w < 0 {
+			return Event{}, fmt.Errorf("bad destination %q", body)
+		}
+		e.Worker = w
+		if hasIdx {
+			k, err := strconv.Atoi(idx)
+			if err != nil || k < 0 {
+				return Event{}, fmt.Errorf("bad message index %q", idx)
+			}
+			e.Index = k
+		}
+	case Straggler:
+		body, durStr, hasDur := strings.Cut(target, ":")
+		if !strings.HasPrefix(body, "w") {
+			return Event{}, fmt.Errorf("slow target must be wN, got %q", target)
+		}
+		w, err := strconv.Atoi(body[1:])
+		if err != nil || w < 0 {
+			return Event{}, fmt.Errorf("bad worker %q", body)
+		}
+		e.Worker = w
+		if hasDur {
+			d, err := time.ParseDuration(durStr)
+			if err != nil || d < 0 {
+				return Event{}, fmt.Errorf("bad delay %q", durStr)
+			}
+			e.Delay = d
+		}
+	default:
+		if !strings.HasPrefix(target, "w") {
+			return Event{}, fmt.Errorf("crash/err target must be wN, got %q", target)
+		}
+		w, err := strconv.Atoi(target[1:])
+		if err != nil || w < 0 {
+			return Event{}, fmt.Errorf("bad worker %q", target)
+		}
+		e.Worker = w
+	}
+	return e, nil
+}
+
+// Format renders a schedule in the Parse grammar, one token per
+// event, comma separated. Parse(Format(s)) round-trips.
+func Format(events []Event) string {
+	toks := make([]string, len(events))
+	for i, e := range events {
+		toks[i] = e.String()
+	}
+	return strings.Join(toks, ",")
+}

@@ -1,0 +1,207 @@
+package fault
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	specs := []string{
+		"crash@3:w1",
+		"err@0:w0",
+		"slow@2:w3:5ms",
+		"drop@1:d2#4",
+		"dup@7:d0#0",
+		"crash@3:w1,err@4:w0,drop@5:d1#2,dup@6:d2#0,slow@7:w2:1ms",
+	}
+	for _, spec := range specs {
+		events, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		got := Format(events)
+		events2, err := Parse(got)
+		if err != nil {
+			t.Fatalf("Parse(Format(%q)) = Parse(%q): %v", spec, got, err)
+		}
+		if !reflect.DeepEqual(events, events2) {
+			t.Fatalf("round trip changed schedule: %v vs %v", events, events2)
+		}
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	events, err := Parse("slow@1:w2, drop@3:d4; dup@5:d6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("parsed %d events, want 3", len(events))
+	}
+	if events[0].Delay != time.Millisecond {
+		t.Fatalf("slow default delay = %v, want 1ms", events[0].Delay)
+	}
+	if events[1].Index != 0 || events[2].Index != 0 {
+		t.Fatal("drop/dup default index should be 0")
+	}
+	if got, err := Parse("  "); err != nil || got != nil {
+		t.Fatalf("blank spec should parse to nil schedule, got %v, %v", got, err)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	bad := []string{
+		"boom@1:w0",     // unknown kind
+		"crash@1",       // missing target
+		"crash@x:w0",    // bad superstep
+		"crash@-1:w0",   // negative superstep
+		"crash@1:d0",    // wrong target prefix for crash
+		"drop@1:w0",     // wrong target prefix for drop
+		"drop@1:d0#x",   // bad message index
+		"slow@1:w0:abc", // bad duration
+		"crash1:w0",     // missing '@'
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(42, 10, 4, 20)
+	b := Random(42, 10, 4, 20)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if len(a) != 10 {
+		t.Fatalf("generated %d events, want 10", len(a))
+	}
+	c := Random(43, 10, 4, 20)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	for i, e := range a {
+		if e.Superstep < 0 || e.Superstep >= 20 || e.Worker < 0 || e.Worker >= 4 {
+			t.Fatalf("event %d out of range: %v", i, e)
+		}
+		if i > 0 && a[i-1].Superstep > e.Superstep {
+			t.Fatalf("schedule not sorted by superstep at %d", i)
+		}
+	}
+	// A random schedule must survive the textual round trip too.
+	parsed, err := Parse(Format(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, parsed) {
+		t.Fatal("random schedule did not survive Format/Parse")
+	}
+	if Random(1, 0, 4, 20) != nil || Random(1, 5, 0, 20) != nil {
+		t.Fatal("degenerate parameters should yield a nil schedule")
+	}
+}
+
+func TestInjectorOneShotConsumption(t *testing.T) {
+	inj := NewInjector(
+		Event{Kind: Crash, Superstep: 2, Worker: 1},
+		Event{Kind: Drop, Superstep: 2, Worker: 1, Index: 3},
+	)
+	if !inj.Armed() {
+		t.Fatal("armed injector reports unarmed")
+	}
+	// Wrong coordinates never fire.
+	if _, ok := inj.WorkerFault(1, 1); ok {
+		t.Fatal("fired at wrong superstep")
+	}
+	if _, ok := inj.WorkerFault(2, 0); ok {
+		t.Fatal("fired at wrong worker")
+	}
+	// WorkerFault only sees Crash; DeliveryFault only sees Drop.
+	e, ok := inj.WorkerFault(2, 1)
+	if !ok || e.Kind != Crash {
+		t.Fatalf("WorkerFault(2,1) = %v, %v", e, ok)
+	}
+	if _, ok := inj.WorkerFault(2, 1); ok {
+		t.Fatal("crash fired twice")
+	}
+	e, ok = inj.DeliveryFault(2, 1)
+	if !ok || e.Kind != Drop || e.Index != 3 {
+		t.Fatalf("DeliveryFault(2,1) = %v, %v", e, ok)
+	}
+	if _, ok := inj.DeliveryFault(2, 1); ok {
+		t.Fatal("drop fired twice")
+	}
+	if got := len(inj.Fired()); got != 2 {
+		t.Fatalf("Fired() has %d events, want 2", got)
+	}
+	// Reset re-arms everything.
+	inj.Reset()
+	if got := len(inj.Fired()); got != 0 {
+		t.Fatalf("Fired() after Reset has %d events", got)
+	}
+	if _, ok := inj.WorkerFault(2, 1); !ok {
+		t.Fatal("crash did not re-arm after Reset")
+	}
+}
+
+func TestInjectorClone(t *testing.T) {
+	inj := NewInjector(Event{Kind: Transient, Superstep: 0, Worker: 0})
+	if _, ok := inj.WorkerFault(0, 0); !ok {
+		t.Fatal("event did not fire")
+	}
+	cl := inj.Clone()
+	if len(cl.Fired()) != 0 {
+		t.Fatal("clone inherited fired state")
+	}
+	if _, ok := cl.WorkerFault(0, 0); !ok {
+		t.Fatal("clone is not re-armed")
+	}
+	// Clone consumption must not affect the original.
+	if len(inj.Fired()) != 1 {
+		t.Fatal("original lost its fired state")
+	}
+}
+
+func TestInjectorNilSafe(t *testing.T) {
+	var inj *Injector
+	if inj.Armed() {
+		t.Fatal("nil injector armed")
+	}
+	if _, ok := inj.WorkerFault(0, 0); ok {
+		t.Fatal("nil injector fired")
+	}
+	if _, ok := inj.DeliveryFault(0, 0); ok {
+		t.Fatal("nil injector fired")
+	}
+	if inj.Schedule() != nil || inj.Fired() != nil || inj.Clone() != nil {
+		t.Fatal("nil injector leaked state")
+	}
+	inj.Reset() // must not panic
+}
+
+// TestInjectorConcurrentProbe: concurrent probes at the same coordinate
+// fire each event exactly once (the engine probes from pool workers).
+func TestInjectorConcurrentProbe(t *testing.T) {
+	inj := NewInjector(Event{Kind: Crash, Superstep: 0, Worker: 0})
+	var fired int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, ok := inj.WorkerFault(0, 0); ok {
+				mu.Lock()
+				fired++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 1 {
+		t.Fatalf("event fired %d times under concurrency", fired)
+	}
+}

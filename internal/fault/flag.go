@@ -1,0 +1,27 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FromFlag interprets a -faults command-line value: either an explicit
+// schedule in the Parse grammar ("crash@1:w0,drop@2:d1#0"), or
+// "rand:N", which draws N events from seed across the given worker and
+// superstep ranges. An empty spec yields a nil schedule (no
+// injection).
+func FromFlag(spec string, seed int64, workers, maxSuperstep int) ([]Event, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	if rest, ok := strings.CutPrefix(spec, "rand:"); ok {
+		n, err := strconv.Atoi(rest)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("fault: bad spec %q: want rand:N with N > 0", spec)
+		}
+		return Random(seed, n, workers, maxSuperstep), nil
+	}
+	return Parse(spec)
+}

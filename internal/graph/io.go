@@ -39,10 +39,15 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
+// maxDeclaredVertices caps the vertex count a header may declare, so a
+// corrupt or hostile input cannot demand huge allocations up front.
+const maxDeclaredVertices = 1 << 28
+
 // ReadEdgeList parses the format produced by WriteEdgeList. Lines
 // starting with '%' or additional '#' lines are skipped, so common
 // SNAP-style edge lists also parse (pass explicit n via the header or
-// the maximum seen vertex + 1 is used).
+// the maximum seen vertex + 1 is used). Malformed input fails with the
+// offending line number; errors wrap the underlying parse/IO cause.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -62,7 +67,10 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 			if len(fields) >= 4 && fields[1] == "vertices" {
 				v, err := strconv.Atoi(fields[2])
 				if err != nil {
-					return nil, fmt.Errorf("graph: bad header line %d: %v", lineNo, err)
+					return nil, fmt.Errorf("graph: line %d: bad header vertex count: %w", lineNo, err)
+				}
+				if v < 0 || v > maxDeclaredVertices {
+					return nil, fmt.Errorf("graph: line %d: header declares %d vertices (cap %d)", lineNo, v, maxDeclaredVertices)
 				}
 				n = v
 				undirected = fields[3] == "undirected"
@@ -75,11 +83,14 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		}
 		s, err := strconv.ParseUint(fields[0], 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			return nil, fmt.Errorf("graph: line %d: bad src: %w", lineNo, err)
 		}
 		d, err := strconv.ParseUint(fields[1], 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			return nil, fmt.Errorf("graph: line %d: bad dst: %w", lineNo, err)
+		}
+		if n >= 0 && (s >= uint64(n) || d >= uint64(n)) {
+			return nil, fmt.Errorf("graph: line %d: edge (%d,%d) out of declared range [0,%d)", lineNo, s, d, n)
 		}
 		e := Edge{VertexID(s), VertexID(d)}
 		if e.Src > maxV {
@@ -91,7 +102,7 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		edges = append(edges, e)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("graph: reading edge list after line %d: %w", lineNo, err)
 	}
 	if n < 0 {
 		n = int(maxV) + 1
@@ -131,14 +142,15 @@ func WriteBinary(w io.Writer, g *Graph) error {
 }
 
 // ReadBinary parses the format produced by WriteBinary and rebuilds
-// the in-adjacency.
+// the in-adjacency. Truncated or corrupt input yields a wrapped error
+// naming the section that failed, never a panic.
 func ReadBinary(r io.Reader) (*Graph, error) {
 	br := bufio.NewReader(r)
 	var magic, flags, n uint32
 	var m int64
 	for _, p := range []any{&magic, &flags, &n, &m} {
 		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("graph: reading header: %w", err)
 		}
 	}
 	if magic != binaryMagic {
@@ -155,7 +167,7 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	}
 	outIndex := make([]int64, n+1)
 	if err := binary.Read(br, binary.LittleEndian, outIndex); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("graph: reading out-index (%d vertices): %w", n, err)
 	}
 	// The index must be monotone within [0, m] or the slicing below
 	// would panic on corrupt input.
@@ -169,7 +181,7 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	}
 	outAdj := make([]VertexID, m)
 	if err := binary.Read(br, binary.LittleEndian, outAdj); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("graph: reading adjacency (%d arcs): %w", m, err)
 	}
 	b := NewBuilder(int(n))
 	if flags&1 != 0 {

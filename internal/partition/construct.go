@@ -118,8 +118,23 @@ func (p *Partition) Clone() *Partition {
 //     consistent with the arc set;
 //   - every arc of G is stored by at least one fragment;
 //   - every vertex of G has at least one copy;
-//   - the copies index and master mapping agree with fragment contents;
+//   - the copies index is sorted, duplicate-free, in fragment range,
+//     and agrees with fragment contents in both directions (which
+//     makes border status ⇔ replication ≥ 2 by construction);
+//   - the master of every vertex is an in-range fragment holding a
+//     real copy, and a single-copy (non-border) vertex is mastered at
+//     that sole copy;
+//   - the owner hint, when set, is an in-range fragment;
 //   - for undirected graphs, symmetric arc pairs are co-located.
+//
+// Note the paper's Eq. 5 master assignment legitimately selects dummy
+// copies (masters coordinate synchronisation, they do not compute), so
+// the checker does not forbid dummy masters — empirically most border
+// masters of refined edge-cut partitions are dummies.
+//
+// The engine's recovery tests run Validate after checkpoint rollback
+// and after refinement, so recovery bugs surface as invariant
+// violations instead of silent cost skew.
 func (p *Partition) Validate() error {
 	covered := make(map[uint64]bool, p.g.NumEdges())
 	for i, f := range p.frags {
@@ -171,18 +186,34 @@ func (p *Partition) Validate() error {
 		return fmt.Errorf("partition: %d arcs of G not stored by any fragment", missing)
 	}
 	for v := 0; v < p.g.NumVertices(); v++ {
+		vid := graph.VertexID(v)
 		cs := p.copies[v]
 		if len(cs) == 0 {
 			return fmt.Errorf("partition: vertex %d has no copy", v)
 		}
-		for _, c := range cs {
-			if !p.frags[c].Has(graph.VertexID(v)) {
+		for k, c := range cs {
+			if c < 0 || int(c) >= len(p.frags) {
+				return fmt.Errorf("partition: copies index of vertex %d names fragment %d of %d", v, c, len(p.frags))
+			}
+			if k > 0 && cs[k-1] >= c {
+				return fmt.Errorf("partition: copies index of vertex %d not sorted/unique: %v", v, cs)
+			}
+			if !p.frags[c].Has(vid) {
 				return fmt.Errorf("partition: copies index lists fragment %d for vertex %d but the fragment has no copy", c, v)
 			}
 		}
+		if p.IsBorder(vid) != (p.Replication(vid) >= 1) {
+			return fmt.Errorf("partition: vertex %d border/replication mismatch: %d copies, r=%d", v, len(cs), p.Replication(vid))
+		}
 		m := p.master[v]
-		if m < 0 || !p.frags[m].Has(graph.VertexID(v)) {
+		if m < 0 || int(m) >= len(p.frags) || !p.frags[m].Has(vid) {
 			return fmt.Errorf("partition: master of %d is fragment %d which holds no copy", v, m)
+		}
+		if len(cs) == 1 && m != cs[0] {
+			return fmt.Errorf("partition: non-border vertex %d mastered at %d, sole copy at %d", v, m, cs[0])
+		}
+		if o := p.owner[v]; o < -1 || int(o) >= len(p.frags) {
+			return fmt.Errorf("partition: owner of %d is fragment %d of %d", v, o, len(p.frags))
 		}
 	}
 	return nil

@@ -72,19 +72,32 @@ func Write(w io.Writer, p *Partition) error {
 	return bw.Flush()
 }
 
+// maxFragments caps the fragment count a stored partition may declare;
+// real deployments run tens to thousands of workers, so anything past
+// this is corrupt input, not a big cluster.
+const maxFragments = 1 << 20
+
 // Read reconstructs a partition of g from the format produced by
 // Write. The graph must be the one the partition was built over.
+//
+// Every count and id read from the wire is validated against g before
+// use — a truncated, bit-flipped, or hostile stream yields a wrapped
+// error naming the offending fragment, never a panic or an
+// invariant-violating partition.
 func Read(r io.Reader, g *graph.Graph) (*Partition, error) {
 	br := bufio.NewReader(r)
 	le := binary.LittleEndian
 	var magic, n, nv uint32
 	for _, ptr := range []*uint32{&magic, &n, &nv} {
 		if err := binary.Read(br, le, ptr); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("partition: reading header: %w", err)
 		}
 	}
 	if magic != partitionMagic {
 		return nil, fmt.Errorf("partition: bad magic %#x", magic)
+	}
+	if n == 0 || n > maxFragments {
+		return nil, fmt.Errorf("partition: stored fragment count %d out of range [1,%d]", n, maxFragments)
 	}
 	if int(nv) != g.NumVertices() {
 		return nil, fmt.Errorf("partition: stored for %d vertices, graph has %d", nv, g.NumVertices())
@@ -93,12 +106,18 @@ func Read(r io.Reader, g *graph.Graph) (*Partition, error) {
 	for i := 0; i < int(n); i++ {
 		var arcs uint32
 		if err := binary.Read(br, le, &arcs); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("partition: reading arc count of fragment %d: %w", i, err)
+		}
+		if int64(arcs) > g.NumEdges() {
+			return nil, fmt.Errorf("partition: fragment %d declares %d arcs, graph has %d", i, arcs, g.NumEdges())
 		}
 		for a := uint32(0); a < arcs; a++ {
 			var pair [2]uint32
 			if err := binary.Read(br, le, &pair); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("partition: reading arc %d of fragment %d: %w", a, i, err)
+			}
+			if pair[0] >= nv || pair[1] >= nv {
+				return nil, fmt.Errorf("partition: fragment %d stores arc (%d,%d) beyond %d vertices", i, pair[0], pair[1], nv)
 			}
 			if !g.HasEdge(graph.VertexID(pair[0]), graph.VertexID(pair[1])) {
 				return nil, fmt.Errorf("partition: stored arc (%d,%d) not in graph", pair[0], pair[1])
@@ -107,26 +126,40 @@ func Read(r io.Reader, g *graph.Graph) (*Partition, error) {
 		}
 		var loners uint32
 		if err := binary.Read(br, le, &loners); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("partition: reading loner count of fragment %d: %w", i, err)
+		}
+		if loners > nv {
+			return nil, fmt.Errorf("partition: fragment %d declares %d loners, graph has %d vertices", i, loners, nv)
 		}
 		for l := uint32(0); l < loners; l++ {
 			var v uint32
 			if err := binary.Read(br, le, &v); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("partition: reading loner %d of fragment %d: %w", l, i, err)
+			}
+			if v >= nv {
+				return nil, fmt.Errorf("partition: fragment %d lists loner %d beyond %d vertices", i, v, nv)
 			}
 			p.AddVertex(i, graph.VertexID(v))
 		}
 	}
 	owner := make([]int32, nv)
 	if err := binary.Read(br, le, owner); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("partition: reading owner map: %w", err)
 	}
 	master := make([]int32, nv)
 	if err := binary.Read(br, le, master); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("partition: reading master map: %w", err)
+	}
+	for v, o := range owner {
+		if o < -1 || o >= int32(n) {
+			return nil, fmt.Errorf("partition: owner of vertex %d is fragment %d of %d", v, o, n)
+		}
 	}
 	copy(p.owner, owner)
 	for v, mfrag := range master {
+		if mfrag >= int32(n) {
+			return nil, fmt.Errorf("partition: master of vertex %d is fragment %d of %d", v, mfrag, n)
+		}
 		if mfrag >= 0 && p.frags[mfrag].Has(graph.VertexID(v)) {
 			p.master[v] = mfrag
 		}

@@ -1,6 +1,7 @@
 package pool
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -137,6 +138,10 @@ type job struct {
 	n     int
 	chunk int
 	fn    func(lo, hi int)
+	// ctx, when non-nil, aborts further chunk claims once cancelled;
+	// in-flight chunks always finish (cancellation is a barrier-level
+	// contract, not a preemption).
+	ctx context.Context
 
 	next   atomic.Int64
 	failed atomic.Bool
@@ -144,10 +149,13 @@ type job struct {
 	wg     sync.WaitGroup
 }
 
-// work drains the cursor until the job is exhausted or a worker
-// panicked.
+// work drains the cursor until the job is exhausted, cancelled, or a
+// worker panicked.
 func (j *job) work() {
 	for !j.failed.Load() {
+		if j.ctx != nil && j.ctx.Err() != nil {
+			return
+		}
 		hi := int(j.next.Add(int64(j.chunk)))
 		lo := hi - j.chunk
 		if lo >= j.n {
@@ -208,12 +216,34 @@ func (p *Pool) Run(n int, fn func(i int)) {
 // granularity against cursor contention; chunk = 1 forces per-item
 // claims (useful when per-item cost is large and skewed).
 func (p *Pool) RunChunks(n, chunk int, fn func(lo, hi int)) {
+	p.runChunksCtx(nil, n, chunk, fn) // nil ctx: never returns an error
+}
+
+// RunCtx is Run with cancellation: once ctx is cancelled no further
+// items start, in-flight items finish, and the ctx error is returned.
+// A worker panic still re-raises as *Panic and takes precedence over
+// the ctx error.
+func (p *Pool) RunCtx(ctx context.Context, n int, fn func(i int)) error {
+	return p.RunChunksCtx(ctx, n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// RunChunksCtx is RunChunks with cancellation; see RunCtx for the
+// abort contract.
+func (p *Pool) RunChunksCtx(ctx context.Context, n, chunk int, fn func(lo, hi int)) error {
+	return p.runChunksCtx(ctx, n, chunk, fn)
+}
+
+func (p *Pool) runChunksCtx(ctx context.Context, n, chunk int, fn func(lo, hi int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	if p.perItem {
-		runPerItem(n, fn)
-		return
+		runPerItem(ctx, n, fn)
+		return ctxErr(ctx)
 	}
 	if chunk <= 0 {
 		chunk = n / (p.workers * 8)
@@ -221,7 +251,7 @@ func (p *Pool) RunChunks(n, chunk int, fn func(lo, hi int)) {
 			chunk = 1
 		}
 	}
-	j := &job{n: n, chunk: chunk, fn: fn}
+	j := &job{n: n, chunk: chunk, fn: fn, ctx: ctx}
 	chunks := (n + chunk - 1) / chunk
 	if helpers := min(p.workers, chunks) - 1; helpers > 0 {
 		p.once.Do(p.start)
@@ -244,16 +274,27 @@ func (p *Pool) RunChunks(n, chunk int, fn func(lo, hi int)) {
 	if pv := j.pval.Load(); pv != nil {
 		panic(pv)
 	}
+	return ctxErr(ctx)
+}
+
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // runPerItem is the Unbounded legacy schedule: one goroutine per item.
-func runPerItem(n int, fn func(lo, hi int)) {
-	j := &job{n: n, chunk: 1, fn: fn}
+func runPerItem(ctx context.Context, n int, fn func(lo, hi int)) {
+	j := &job{n: n, chunk: 1, fn: fn, ctx: ctx}
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for i := 0; i < n; i++ {
 		go func(i int) {
 			defer wg.Done()
+			if j.ctx != nil && j.ctx.Err() != nil {
+				return
+			}
 			j.call(i, i+1)
 		}(i)
 	}
@@ -272,4 +313,15 @@ func Map[T any](p *Pool, n int, fn func(i int) T) []T {
 		out[i] = fn(i)
 	})
 	return out
+}
+
+// MapCtx is Map with cancellation: slots whose items never started
+// (because ctx was cancelled) keep their zero value, and the ctx error
+// is returned alongside the partial result.
+func MapCtx[T any](p *Pool, ctx context.Context, n int, fn func(i int) T) ([]T, error) {
+	out := make([]T, n)
+	err := p.RunCtx(ctx, n, func(i int) {
+		out[i] = fn(i)
+	})
+	return out, err
 }

@@ -1,6 +1,8 @@
 package refine
 
 import (
+	"context"
+
 	"adp/internal/costmodel"
 	"adp/internal/partition"
 	"adp/internal/partitioner"
@@ -16,6 +18,31 @@ func ParE2H(p *partition.Partition, m costmodel.CostModel, cfg Config) *Stats {
 func ParV2H(p *partition.Partition, m costmodel.CostModel, cfg Config) *Stats {
 	cfg.Parallel = true
 	return V2H(p, m, cfg)
+}
+
+// ParE2HCtx is ParE2H under a context: cancellation stops at the next
+// phase or migrate-superstep boundary, returning the partial Stats and
+// the ctx error. The partition stays structurally valid (every applied
+// move preserves the Section-2 invariants).
+func ParE2HCtx(ctx context.Context, p *partition.Partition, m costmodel.CostModel, cfg Config) (*Stats, error) {
+	cfg.Parallel = true
+	return E2HCtx(ctx, p, m, cfg)
+}
+
+// ParV2HCtx is ParV2H under a context; see ParE2HCtx for the abort
+// contract.
+func ParV2HCtx(ctx context.Context, p *partition.Partition, m costmodel.CostModel, cfg Config) (*Stats, error) {
+	cfg.Parallel = true
+	return V2HCtx(ctx, p, m, cfg)
+}
+
+// ctxErr treats a nil context as never-cancelled, so the ctx-less
+// entry points share the ctx-aware implementations.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // VMergeSweep runs the VMerge phase alone on p against an explicit
@@ -55,4 +82,16 @@ func ForFamily(fam partitioner.Family, p *partition.Partition, m costmodel.CostM
 		return ParV2H(p, m, cfg)
 	}
 	return nil
+}
+
+// ForFamilyCtx is ForFamily under a context; see ParE2HCtx for the
+// abort contract. Hybrid families return (nil, nil).
+func ForFamilyCtx(ctx context.Context, fam partitioner.Family, p *partition.Partition, m costmodel.CostModel, cfg Config) (*Stats, error) {
+	switch fam {
+	case partitioner.EdgeCutFamily:
+		return ParE2HCtx(ctx, p, m, cfg)
+	case partitioner.VertexCutFamily:
+		return ParV2HCtx(ctx, p, m, cfg)
+	}
+	return nil, nil
 }

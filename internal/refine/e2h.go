@@ -1,6 +1,7 @@
 package refine
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -13,6 +14,14 @@ import (
 // reduces the parallel cost of the algorithm modelled by m (Fig. 3).
 // The partition is refined in place.
 func E2H(p *partition.Partition, m costmodel.CostModel, cfg Config) *Stats {
+	stats, _ := E2HCtx(context.Background(), p, m, cfg)
+	return stats
+}
+
+// E2HCtx is E2H under a context. Cancellation is observed between
+// candidates, supersteps and phases; the partial Stats and ctx error
+// are returned, and the partially refined partition remains valid.
+func E2HCtx(ctx context.Context, p *partition.Partition, m costmodel.CostModel, cfg Config) (*Stats, error) {
 	cfg.defaults()
 	start := time.Now()
 	tr := costmodel.NewTracker(p, m)
@@ -35,34 +44,53 @@ func E2H(p *partition.Partition, m costmodel.CostModel, cfg Config) *Stats {
 	// Phase 1: EMigrate (lines 6-10).
 	t0 := time.Now()
 	var leftover []candidate
+	var err error
 	if cfg.Parallel {
-		leftover = parallelMigrate(cfg.Pool, tr, candidates, under, budget, cfg.BatchSize, eMigrateProbe, eMigrateApply, stats)
+		leftover, err = parallelMigrateCtx(ctx, cfg.Pool, tr, candidates, under, budget, cfg.BatchSize, eMigrateProbe, eMigrateApply, stats)
 	} else {
 		for _, c := range candidates {
+			if err = ctxErr(ctx); err != nil {
+				break
+			}
 			if !eMigrateTry(tr, c, under, budget, stats) {
 				leftover = append(leftover, c)
 			}
 		}
 	}
 	stats.PhaseDurations[0] = time.Since(t0)
+	if err != nil {
+		stats.Total = time.Since(start)
+		return stats, err
+	}
 
 	// Phase 2: ESplit (lines 11-14).
 	if cfg.Phases >= 2 {
 		t1 := time.Now()
 		for _, c := range leftover {
+			if err = ctxErr(ctx); err != nil {
+				break
+			}
 			eSplit(tr, c, stats)
 		}
 		stats.PhaseDurations[1] = time.Since(t1)
+		if err != nil {
+			stats.Total = time.Since(start)
+			return stats, err
+		}
 	}
 
 	// Phase 3: MAssign (line 15).
 	if cfg.Phases >= 3 {
+		if err = ctxErr(ctx); err != nil {
+			stats.Total = time.Since(start)
+			return stats, err
+		}
 		t2 := time.Now()
 		stats.MastersMoved = mAssign(tr)
 		stats.PhaseDurations[2] = time.Since(t2)
 	}
 	stats.Total = time.Since(start)
-	return stats
+	return stats, nil
 }
 
 // eMigrateProbe evaluates whether candidate c fits fragment j within

@@ -1,6 +1,7 @@
 package refine
 
 import (
+	"context"
 	"sort"
 
 	"adp/internal/costmodel"
@@ -25,9 +26,19 @@ type applyFunc func(tr *costmodel.Tracker, c candidate, j int, stats *Stats)
 // rejected everywhere are returned for ESplit/VMerge.
 func parallelMigrate(pl *pool.Pool, tr *costmodel.Tracker, candidates []candidate, under []int, budget float64,
 	batchSize int, probe probeFunc, apply applyFunc, stats *Stats) []candidate {
+	leftover, _ := parallelMigrateCtx(context.Background(), pl, tr, candidates, under, budget, batchSize, probe, apply, stats)
+	return leftover
+}
+
+// parallelMigrateCtx is parallelMigrate with cancellation observed at
+// superstep boundaries: the supersteps already applied stand, the
+// unprocessed queue is abandoned, and the ctx error is returned with
+// the leftovers accumulated so far.
+func parallelMigrateCtx(ctx context.Context, pl *pool.Pool, tr *costmodel.Tracker, candidates []candidate, under []int, budget float64,
+	batchSize int, probe probeFunc, apply applyFunc, stats *Stats) ([]candidate, error) {
 
 	if len(under) == 0 {
-		return candidates
+		return candidates, nil
 	}
 	type pending struct {
 		c     candidate
@@ -39,6 +50,9 @@ func parallelMigrate(pl *pool.Pool, tr *costmodel.Tracker, candidates []candidat
 	}
 	var leftover []candidate
 	for len(queue) > 0 {
+		if err := ctxErr(ctx); err != nil {
+			return leftover, err
+		}
 		// Each superstep moves at most batchSize candidates per
 		// overloaded fragment.
 		batchBudget := map[int]int{}
@@ -90,5 +104,5 @@ func parallelMigrate(pl *pool.Pool, tr *costmodel.Tracker, candidates []candidat
 		}
 		queue = rest
 	}
-	return leftover
+	return leftover, nil
 }

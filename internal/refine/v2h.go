@@ -1,6 +1,7 @@
 package refine
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -13,6 +14,12 @@ import (
 // reduces the parallel cost of the algorithm modelled by m (Fig. 4).
 // The partition is refined in place.
 func V2H(p *partition.Partition, m costmodel.CostModel, cfg Config) *Stats {
+	stats, _ := V2HCtx(context.Background(), p, m, cfg)
+	return stats
+}
+
+// V2HCtx is V2H under a context; see E2HCtx for the abort contract.
+func V2HCtx(ctx context.Context, p *partition.Partition, m costmodel.CostModel, cfg Config) (*Stats, error) {
 	cfg.defaults()
 	start := time.Now()
 	tr := costmodel.NewTracker(p, m)
@@ -35,10 +42,14 @@ func V2H(p *partition.Partition, m costmodel.CostModel, cfg Config) *Stats {
 	// an underloaded fragment that already holds a copy of it, which
 	// removes one replica.
 	t0 := time.Now()
+	var err error
 	if cfg.Parallel {
-		parallelMigrate(cfg.Pool, tr, candidates, under, budget, cfg.BatchSize, vMigrateProbe, vMigrateApply, stats)
+		_, err = parallelMigrateCtx(ctx, cfg.Pool, tr, candidates, under, budget, cfg.BatchSize, vMigrateProbe, vMigrateApply, stats)
 	} else {
 		for _, c := range candidates {
+			if err = ctxErr(ctx); err != nil {
+				break
+			}
 			for _, j := range under {
 				if j == c.frag {
 					continue
@@ -51,6 +62,10 @@ func V2H(p *partition.Partition, m costmodel.CostModel, cfg Config) *Stats {
 		}
 	}
 	stats.PhaseDurations[0] = time.Since(t0)
+	if err != nil {
+		stats.Total = time.Since(start)
+		return stats, err
+	}
 
 	// Phase 2: VMerge (lines 11-14) — iteratively turn v-cut nodes of
 	// underloaded fragments into e-cut nodes by pulling in their
@@ -58,22 +73,33 @@ func V2H(p *partition.Partition, m costmodel.CostModel, cfg Config) *Stats {
 	if cfg.Phases >= 2 {
 		t1 := time.Now()
 		for pass := 0; pass < 8; pass++ {
+			if err = ctxErr(ctx); err != nil {
+				break
+			}
 			merged := vMergePass(tr, budget, stats)
 			if merged == 0 {
 				break
 			}
 		}
 		stats.PhaseDurations[1] = time.Since(t1)
+		if err != nil {
+			stats.Total = time.Since(start)
+			return stats, err
+		}
 	}
 
 	// Phase 3: MAssign (line 15), shared with E2H.
 	if cfg.Phases >= 3 {
+		if err = ctxErr(ctx); err != nil {
+			stats.Total = time.Since(start)
+			return stats, err
+		}
 		t2 := time.Now()
 		stats.MastersMoved = mAssign(tr)
 		stats.PhaseDurations[2] = time.Since(t2)
 	}
 	stats.Total = time.Since(start)
-	return stats
+	return stats, nil
 }
 
 // vMigrateProbe: fragment j must already hold a copy of v, and taking

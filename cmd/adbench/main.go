@@ -30,10 +30,34 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for rand:N fault schedules")
 	timeout := flag.Duration("timeout", 0, "abort the remaining experiments after this duration (0 = no timeout)")
 	faultSpec := flag.String("faults", "", `fault schedule injected into every engine run: grammar spec or "rand:N" (costs are unchanged by design)`)
+	jsonPath := flag.String("json", "", "run the engine/partition perf suite and write the machine-readable report (e.g. BENCH_3.json) to this path, then exit")
 	flag.Usage = usage
 	flag.Parse()
 	if *workers != 0 {
 		pool.SetDefaultWorkers(*workers)
+	}
+	if *jsonPath != "" {
+		rep, err := bench.Perf()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adbench:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adbench:", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %s\n", *jsonPath, rep.Summary())
+		return
 	}
 	events, err := fault.FromFlag(*faultSpec, *seed, 8, 8)
 	if err != nil {
@@ -90,6 +114,9 @@ usage:
 
 -workers sizes the shared worker pool (0 = GOMAXPROCS). Results are
 identical for every value; only wall time changes.
+-json PATH runs the engine/partition perf suite instead and writes the
+machine-readable benchmark report (ns/op, allocs/op, speedup vs the
+pinned pre-CSR baseline) to PATH.
 -faults injects a deterministic fault schedule (grammar spec or
 "rand:N", drawn from -seed) into every engine run; checkpoint/recovery
 replays to identical barrier state, so every reported cost is

@@ -21,14 +21,24 @@ func (o *PROptions) defaults() {
 	}
 }
 
+// prState keeps per-vertex values in dense slices indexed by the
+// fragment's compiled local id (see partition.Fragment.LocalIndex), so
+// the inner loops are array reads instead of map probes and a
+// superstep allocates nothing.
 type prState struct {
-	rank    map[graph.VertexID]float64
-	partial map[graph.VertexID]float64
+	rank    []float64 // by local id
+	partial []float64 // by local id; valid where has[l]
+	has     []bool    // partial accumulated this iteration
+	scratch []int     // AppendMirrors scratch
 }
 
 // Snapshot deep-copies the state for engine checkpointing.
 func (st *prState) Snapshot() any {
-	return &prState{rank: cloneValMap(st.rank), partial: cloneValMap(st.partial)}
+	return &prState{
+		rank:    append([]float64(nil), st.rank...),
+		partial: append([]float64(nil), st.partial...),
+		has:     append([]bool(nil), st.has...),
+	}
 }
 
 const (
@@ -58,12 +68,14 @@ func RunPR(c *engine.Cluster, opts PROptions) ([]float64, *engine.Report, error)
 	invN := 1 / float64(n)
 
 	step := func(w *engine.WorkerCtx, s int, inbox []engine.Message) bool {
+		frag := w.Fragment()
 		var st *prState
 		if w.State == nil {
-			st = &prState{rank: map[graph.VertexID]float64{}, partial: map[graph.VertexID]float64{}}
-			w.Fragment().Vertices(func(v graph.VertexID, _ *partition.Adj) {
-				st.rank[v] = invN
-			})
+			nl := frag.NumVertices()
+			st = &prState{rank: make([]float64, nl), partial: make([]float64, nl), has: make([]bool, nl)}
+			for l := range st.rank {
+				st.rank[l] = invN
+			}
 			w.State = st
 		} else {
 			st = w.State.(*prState)
@@ -76,21 +88,27 @@ func RunPR(c *engine.Cluster, opts PROptions) ([]float64, *engine.Report, error)
 			// Apply rank broadcasts from the previous odd superstep.
 			for _, m := range inbox {
 				if m.Kind == kindRank {
-					st.rank[m.V] = m.Data[0]
+					st.rank[frag.LocalIndex(m.V)] = m.Data[0]
 				}
 				w.AddWork(1)
 			}
-			// Accumulate partials over responsible in-arcs.
-			st.partial = map[graph.VertexID]float64{}
+			// Accumulate partials over responsible in-arcs. Vertices
+			// walks the compiled form in ascending id order, so the
+			// running counter l is exactly the local id.
+			for l := range st.partial {
+				st.partial[l] = 0
+				st.has[l] = false
+			}
 			var dangling float64
-			w.Fragment().Vertices(func(v graph.VertexID, adj *partition.Adj) {
+			l := 0
+			frag.Vertices(func(v graph.VertexID, adj *partition.Adj) {
 				sum := 0.0
 				any := false
 				for _, u := range adj.In {
 					if !w.ResponsibleFor(v, u, v) {
 						continue
 					}
-					sum += st.rank[u] / float64(g.OutDegree(u))
+					sum += st.rank[frag.LocalIndex(u)] / float64(g.OutDegree(u))
 					any = true
 				}
 				// The scan walks every local in-arc (the responsibility
@@ -100,25 +118,32 @@ func RunPR(c *engine.Cluster, opts PROptions) ([]float64, *engine.Report, error)
 					w.ChargeVertex(v, float64(len(adj.In)))
 				}
 				if any {
-					st.partial[v] = sum
+					st.partial[l] = sum
+					st.has[l] = true
 				}
 				// Dangling mass: counted once at the vertex's compute
 				// copy (e-cut node, or master among v-cut copies).
 				if g.OutDegree(v) == 0 && prCountsDangling(p, w.ID(), v) {
-					dangling += st.rank[v]
+					dangling += st.rank[l]
 				}
+				l++
 			})
 			// Ship border partials to masters; keep local ones.
-			for v, sum := range st.partial {
+			for l, ok := range st.has {
+				if !ok {
+					continue
+				}
+				v := frag.VertexAt(l)
 				if p.IsBorder(v) && !w.IsMaster(v) {
-					w.Send(p.Master(v), engine.Message{V: v, Kind: kindPartial, Data: []float64{sum}})
-					delete(st.partial, v)
+					w.SendVal(p.Master(v), v, kindPartial, st.partial[l])
+					st.partial[l] = 0
+					st.has[l] = false
 				}
 			}
 			// Dangling mass to every worker so all masters share the
 			// same base next superstep.
 			for dst := 0; dst < w.NumWorkers(); dst++ {
-				w.Send(dst, engine.Message{V: 0, Kind: kindDangling, Data: []float64{dangling}})
+				w.SendVal(dst, 0, kindDangling, dangling)
 			}
 			return false
 		}
@@ -127,29 +152,35 @@ func RunPR(c *engine.Cluster, opts PROptions) ([]float64, *engine.Report, error)
 		for _, m := range inbox {
 			switch m.Kind {
 			case kindPartial:
-				st.partial[m.V] += m.Data[0]
+				st.partial[frag.LocalIndex(m.V)] += m.Data[0]
 			case kindDangling:
 				danglingTerm += m.Data[0]
 			}
 			w.AddWork(1)
 		}
 		base := (1-opts.Damping)*invN + opts.Damping*danglingTerm*invN
-		w.Fragment().Vertices(func(v graph.VertexID, _ *partition.Adj) {
+		l := 0
+		frag.Vertices(func(v graph.VertexID, _ *partition.Adj) {
+			lv := l
+			l++
 			if !w.IsMaster(v) {
 				return
 			}
-			newRank := base + opts.Damping*st.partial[v]
-			st.rank[v] = newRank
+			newRank := base + opts.Damping*st.partial[lv]
+			st.rank[lv] = newRank
 			w.AddWork(1)
-			mirrors := w.Mirrors(v)
-			for _, dst := range mirrors {
-				w.Send(dst, engine.Message{V: v, Kind: kindRank, Data: []float64{newRank}})
+			st.scratch = w.AppendMirrors(st.scratch[:0], v)
+			for _, dst := range st.scratch {
+				w.SendVal(dst, v, kindRank, newRank)
 			}
-			if len(mirrors) > 0 {
-				w.ChargeVertexComm(v, float64(len(mirrors)))
+			if len(st.scratch) > 0 {
+				w.ChargeVertexComm(v, float64(len(st.scratch)))
 			}
 		})
-		st.partial = map[graph.VertexID]float64{}
+		for i := range st.partial {
+			st.partial[i] = 0
+			st.has[i] = false
+		}
 		return iter+1 >= opts.Iterations
 	}
 	rep, err := c.Run(nil, step, 2*opts.Iterations+3)
@@ -162,11 +193,14 @@ func RunPR(c *engine.Cluster, opts PROptions) ([]float64, *engine.Report, error)
 		if st == nil {
 			continue
 		}
-		for v, r := range st.rank {
+		frag := p.Fragment(i)
+		l := 0
+		frag.Vertices(func(v graph.VertexID, _ *partition.Adj) {
 			if p.Master(v) == i {
-				rank[v] = r
+				rank[v] = st.rank[l]
 			}
-		}
+			l++
+		})
 	}
 	return rank, rep, nil
 }

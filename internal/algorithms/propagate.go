@@ -1,7 +1,6 @@
 package algorithms
 
 import (
-	"container/heap"
 	"math"
 
 	"adp/internal/engine"
@@ -9,23 +8,55 @@ import (
 	"adp/internal/partition"
 )
 
-// propEntry / propHeap implement the value-ordered local sweep.
+// propEntry / propHeap implement the value-ordered local sweep. The
+// heap is hand-rolled (instead of container/heap) so pushes don't box
+// entries into interfaces — the sweep is the innermost loop of WCC and
+// SSSP and must not allocate per relaxation.
 type propEntry struct {
 	v   graph.VertexID
+	l   int // local id of v (dense state index)
 	val float64
 }
 
 type propHeap []propEntry
 
-func (h propHeap) Len() int           { return len(h) }
-func (h propHeap) Less(i, j int) bool { return h[i].val < h[j].val }
-func (h propHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *propHeap) Push(x any)        { *h = append(*h, x.(propEntry)) }
-func (h *propHeap) Pop() any {
-	old := *h
-	x := old[len(old)-1]
-	*h = old[:len(old)-1]
-	return x
+func (h *propHeap) push(e propEntry) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].val <= s[i].val {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h *propHeap) pop() propEntry {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= len(s) {
+			break
+		}
+		if c+1 < len(s) && s[c+1].val < s[c].val {
+			c++
+		}
+		if s[i].val <= s[c].val {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	return top
 }
 
 // propagation implements the shared skeleton of WCC and SSSP: a
@@ -48,22 +79,27 @@ type propagation struct {
 	scanDegree func(adj *partition.Adj) int
 }
 
+// propState keeps per-vertex values in dense slices indexed by the
+// fragment's compiled local id, plus the reusable sweep heap and
+// mirror scratch, so steady-state supersteps allocate nothing.
 type propState struct {
-	val   map[graph.VertexID]float64
-	dirty map[graph.VertexID]bool // border copies whose value changed since last sync
+	val   []float64 // by local id
+	dirty []bool    // border copies whose value changed since last sync
 	// synced marks border masters that already contributed a
 	// communication training sample; per-vertex comm cost is charged
 	// once (∝ r(v)), matching the gWCC/gSSSP shape, while every
 	// broadcast still pays wire bytes.
-	synced map[graph.VertexID]bool
+	synced  []bool
+	pq      propHeap // reusable sweep buffer
+	scratch []int    // AppendMirrors scratch
 }
 
 // Snapshot deep-copies the state for engine checkpointing.
 func (st *propState) Snapshot() any {
 	return &propState{
-		val:    cloneValMap(st.val),
-		dirty:  cloneSetMap(st.dirty),
-		synced: cloneSetMap(st.synced),
+		val:    append([]float64(nil), st.val...),
+		dirty:  append([]bool(nil), st.dirty...),
+		synced: append([]bool(nil), st.synced...),
 	}
 }
 
@@ -77,24 +113,28 @@ const (
 func (pr *propagation) run(c *engine.Cluster, maxSupersteps int) (map[graph.VertexID]float64, *engine.Report, error) {
 	p := c.Partition()
 	step := func(w *engine.WorkerCtx, s int, inbox []engine.Message) bool {
+		frag := w.Fragment()
 		var st *propState
 		if w.State == nil {
-			st = &propState{val: map[graph.VertexID]float64{}, dirty: map[graph.VertexID]bool{}, synced: map[graph.VertexID]bool{}}
-			w.Fragment().Vertices(func(v graph.VertexID, _ *partition.Adj) {
-				st.val[v] = pr.init(v)
+			nl := frag.NumVertices()
+			st = &propState{val: make([]float64, nl), dirty: make([]bool, nl), synced: make([]bool, nl)}
+			l := 0
+			frag.Vertices(func(v graph.VertexID, _ *partition.Adj) {
+				st.val[l] = pr.init(v)
+				l++
 			})
 			w.State = st
 		} else {
 			st = w.State.(*propState)
 		}
 		// (1) apply incoming updates.
-		var pq propHeap
+		st.pq = st.pq[:0]
 		for _, m := range inbox {
-			if cur, ok := st.val[m.V]; ok && m.Data[0] < cur {
-				st.val[m.V] = m.Data[0]
-				heap.Push(&pq, propEntry{m.V, m.Data[0]})
+			if lv := frag.LocalIndex(m.V); lv >= 0 && m.Data[0] < st.val[lv] {
+				st.val[lv] = m.Data[0]
+				st.pq.push(propEntry{m.V, lv, m.Data[0]})
 				if p.IsBorder(m.V) {
-					st.dirty[m.V] = true
+					st.dirty[lv] = true
 				}
 			}
 			w.AddWork(1)
@@ -105,19 +145,31 @@ func (pr *propagation) run(c *engine.Cluster, maxSupersteps int) (map[graph.Vert
 		// shape); all later incremental relaxations count as fragment
 		// work only.
 		if s == 0 {
-			w.Fragment().Vertices(func(v graph.VertexID, adj *partition.Adj) {
-				heap.Push(&pq, propEntry{v, st.val[v]})
+			l := 0
+			frag.Vertices(func(v graph.VertexID, adj *partition.Adj) {
+				st.pq.push(propEntry{v, l, st.val[l]})
 				w.ChargeVertex(v, float64(pr.scanDegree(adj)))
+				l++
 			})
 		}
 		// (2) local fixpoint as a value-ordered sweep (a local
 		// Dijkstra): values only decrease, so popping in ascending
 		// order settles each vertex at most once per superstep and
-		// keeps the work insensitive to relaxation order.
-		frag := w.Fragment()
-		for pq.Len() > 0 {
-			top := heap.Pop(&pq).(propEntry)
-			if top.val > st.val[top.v] {
+		// keeps the work insensitive to relaxation order. The visit
+		// closure is hoisted out of the pop loop so the sweep itself
+		// allocates nothing.
+		visit := func(u graph.VertexID, nv float64) {
+			if lu := frag.LocalIndex(u); lu >= 0 && nv < st.val[lu] {
+				st.val[lu] = nv
+				st.pq.push(propEntry{u, lu, nv})
+				if p.IsBorder(u) {
+					st.dirty[lu] = true
+				}
+			}
+		}
+		for len(st.pq) > 0 {
+			top := st.pq.pop()
+			if top.val > st.val[top.l] {
 				continue // stale entry
 			}
 			adj := frag.Adjacency(top.v)
@@ -125,33 +177,33 @@ func (pr *propagation) run(c *engine.Cluster, maxSupersteps int) (map[graph.Vert
 				continue
 			}
 			w.AddWork(float64(pr.scanDegree(adj)))
-			pr.relax(top.v, top.val, adj, func(u graph.VertexID, nv float64) {
-				if cur, ok := st.val[u]; ok && nv < cur {
-					st.val[u] = nv
-					heap.Push(&pq, propEntry{u, nv})
-					if p.IsBorder(u) {
-						st.dirty[u] = true
-					}
-				}
-			})
+			pr.relax(top.v, top.val, adj, visit)
 		}
-		// (3) synchronise borders through masters.
-		for v := range st.dirty {
+		// (3) synchronise borders through masters, in ascending local
+		// id order (the former map walk visited them in random order;
+		// per-vertex messages are independent, so the report is
+		// unchanged and delivery becomes deterministic for free).
+		changed := false
+		for l, d := range st.dirty {
+			if !d {
+				continue
+			}
+			changed = true
+			st.dirty[l] = false
+			v := frag.VertexAt(l)
 			if w.IsMaster(v) {
-				mirrors := w.Mirrors(v)
-				for _, dst := range mirrors {
-					w.Send(dst, engine.Message{V: v, Kind: kindToMirror, Data: []float64{st.val[v]}})
+				st.scratch = w.AppendMirrors(st.scratch[:0], v)
+				for _, dst := range st.scratch {
+					w.SendVal(dst, v, kindToMirror, st.val[l])
 				}
-				if !st.synced[v] {
-					st.synced[v] = true
-					w.ChargeVertexComm(v, float64(len(mirrors)))
+				if !st.synced[l] {
+					st.synced[l] = true
+					w.ChargeVertexComm(v, float64(len(st.scratch)))
 				}
 			} else {
-				w.Send(p.Master(v), engine.Message{V: v, Kind: kindToMaster, Data: []float64{st.val[v]}})
+				w.SendVal(p.Master(v), v, kindToMaster, st.val[l])
 			}
 		}
-		changed := len(st.dirty) > 0
-		st.dirty = map[graph.VertexID]bool{}
 		return !changed
 	}
 	rep, err := c.Run(nil, step, maxSupersteps)
@@ -165,11 +217,13 @@ func (pr *propagation) run(c *engine.Cluster, maxSupersteps int) (map[graph.Vert
 		if st == nil {
 			continue
 		}
-		for v, val := range st.val {
+		l := 0
+		p.Fragment(i).Vertices(func(v graph.VertexID, _ *partition.Adj) {
 			if p.Master(v) == i {
-				out[v] = val
+				out[v] = st.val[l]
 			}
-		}
+			l++
+		})
 	}
 	return out, rep, nil
 }

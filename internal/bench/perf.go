@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"adp/internal/algorithms"
+	"adp/internal/costmodel"
+	"adp/internal/engine"
+	"adp/internal/gen"
+	"adp/internal/graph"
+	"adp/internal/partition"
+	"adp/internal/partitioner"
+	"adp/internal/pool"
+)
+
+// PerfResult is one benchmark measurement in machine-readable form.
+type PerfResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// PerfBaseline records a pinned reference measurement a result is
+// compared against.
+type PerfBaseline struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Note        string  `json:"note"`
+}
+
+// PerfReport is the BENCH_N.json payload: the perf trajectory entry
+// this revision contributes.
+type PerfReport struct {
+	Schema     string         `json:"schema"`
+	GoVersion  string         `json:"go_version"`
+	GoMaxProcs int            `json:"go_max_procs"`
+	Baselines  []PerfBaseline `json:"baselines"`
+	Results    []PerfResult   `json:"results"`
+	// EngineRunSpeedup is engine_run ns/op of the pinned pre-CSR
+	// baseline divided by this build's engine_run ns/op.
+	EngineRunSpeedup float64 `json:"engine_run_speedup_vs_baseline"`
+	// SteadyStateAllocsPerSuperstep is the marginal heap allocations of
+	// one extra superstep of the PR workload on a warmed serial
+	// cluster; the flat message plane keeps it at zero.
+	SteadyStateAllocsPerSuperstep float64 `json:"steady_state_allocs_per_superstep"`
+}
+
+// engineRunBaseline is the pre-flat-data-plane BenchmarkEngineRun
+// measurement (map-backed fragments, map foreignArc, allocating
+// message plane) on the same workload, recorded before the CSR
+// rewrite landed so the trajectory keeps its origin.
+var engineRunBaseline = PerfBaseline{
+	Name:        "engine_run",
+	NsPerOp:     105e6,
+	AllocsPerOp: 109723,
+	Note:        "pre-CSR map-backed engine, same workload (PowerLaw N=6000 deg=8, Fennel 8 frags, PR x5), measured at the PR-2 tree",
+}
+
+// Perf runs the engine/partition micro and macro benchmarks via
+// testing.Benchmark and assembles the BENCH_3.json report.
+func Perf() (*PerfReport, error) {
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 6000, AvgDeg: 8, Exponent: 2.1, Directed: true, Seed: 23})
+	p, err := partitioner.FennelEdgeCut(g, 8, partitioner.FennelConfig{})
+	if err != nil {
+		return nil, err
+	}
+	opts := algorithms.Options{PRIterations: 5}
+	rep := &PerfReport{
+		Schema:     "adp-bench/1",
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Baselines:  []PerfBaseline{engineRunBaseline},
+	}
+	add := func(name string, r testing.BenchmarkResult) {
+		rep.Results = append(rep.Results, PerfResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+
+	// Macro: the PR workload BenchmarkEngineRun times, on the shared
+	// pool — the ≥2x acceptance measurement.
+	engineRun := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := algorithms.Run(engine.NewCluster(p).UsePool(pool.Default()), costmodel.PR, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("engine_run", engineRun)
+	ns := float64(engineRun.T.Nanoseconds()) / float64(engineRun.N)
+	if ns > 0 {
+		rep.EngineRunSpeedup = engineRunBaseline.NsPerOp / ns
+	}
+
+	// Micro: arc-presence probes, map form vs compiled CSR form.
+	type arc struct{ u, v graph.VertexID }
+	var arcsList []arc
+	g.Edges(func(u, v graph.VertexID) bool {
+		arcsList = append(arcsList, arc{u, v})
+		return true
+	})
+	probe := func(pp *partition.Partition) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			hits := 0
+			for i := 0; i < b.N; i++ {
+				for _, a := range arcsList {
+					for f := 0; f < pp.NumFragments(); f++ {
+						if pp.Fragment(f).HasArc(a.u, a.v) {
+							hits++
+						}
+					}
+				}
+			}
+			if hits == 0 {
+				b.Fatal("no hits")
+			}
+		})
+	}
+	add("fragment_has_arc_map", probe(p.Clone()))
+	add("fragment_has_arc_csr", probe(p.Clone().Compile()))
+
+	// Micro: per-arc ownership probes on the compiled bitset path.
+	c := engine.NewCluster(p)
+	add("responsible_for_csr", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		owners := 0
+		for i := 0; i < b.N; i++ {
+			for _, a := range arcsList {
+				for w := 0; w < p.NumFragments(); w++ {
+					if c.Worker(w).Responsible(a.u, a.v) {
+						owners++
+					}
+				}
+			}
+		}
+		if owners != len(arcsList)*b.N {
+			b.Fatalf("owners = %d", owners)
+		}
+	}))
+
+	// Steady-state allocation check: marginal allocations of one extra
+	// superstep on a warmed serial cluster (the zero-allocation message
+	// plane contract, measured the same way TestSteadyStateZeroAllocs
+	// asserts it).
+	sc := engine.NewCluster(p).UsePool(pool.Serial())
+	run := func(iters int) func() {
+		o := algorithms.Options{PRIterations: iters}
+		return func() {
+			if _, err := algorithms.Run(sc, costmodel.PR, o); err != nil {
+				panic(err)
+			}
+		}
+	}
+	run(32)() // warm buffer capacities
+	short := testing.AllocsPerRun(3, run(4))
+	long := testing.AllocsPerRun(3, run(32))
+	if d := long - short; d > 0 {
+		rep.SteadyStateAllocsPerSuperstep = d / 56 // 2 supersteps per extra PR iteration
+	}
+	return rep, nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *PerfReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Summary is a one-line human rendering for the CLI.
+func (r *PerfReport) Summary() string {
+	var ns float64
+	for _, res := range r.Results {
+		if res.Name == "engine_run" {
+			ns = res.NsPerOp
+		}
+	}
+	return fmt.Sprintf("engine_run %.1fms/op (%.2fx vs pre-CSR baseline), %.2f allocs/superstep steady-state",
+		ns/1e6, r.EngineRunSpeedup, r.SteadyStateAllocsPerSuperstep)
+}

@@ -11,6 +11,14 @@
 // The engine also records per-vertex computation and communication
 // work, which is exactly the "running log" Section 4 harvests training
 // samples [X(v), t(v)] from.
+//
+// The hot path is flat (see DESIGN.md "Data layout"): the cluster
+// compiles its partition at construction so fragment accessors are
+// array reads and binary searches, arc responsibility is a bitset over
+// compiled arc slots, per-vertex cost charging is dense, and the
+// message plane reuses its outbox/inbox buffers and scalar payload
+// arenas — the steady-state superstep loop performs no heap
+// allocations (locked in by TestSteadyStateZeroAllocs).
 package engine
 
 import (
@@ -44,6 +52,11 @@ func (m Message) Size() int64 {
 // (grouped by sending worker in ascending order). Returning true
 // votes to halt; the run stops when every worker votes to halt in the
 // same superstep and no messages are in flight.
+//
+// The inbox slice (and the payload of SendVal-sent messages) is only
+// valid for the duration of the call: the engine reuses the backing
+// buffers on the following superstep. Copy values out; do not retain
+// the slice.
 type StepFunc func(w *WorkerCtx, superstep int, inbox []Message) (halt bool)
 
 // Report aggregates the execution statistics of one Run.
@@ -106,9 +119,11 @@ type Cluster struct {
 	p       *partition.Partition
 	n       int
 	workers []*WorkerCtx
-	// foreignArc[i] marks local arcs of fragment i that a lower
-	// fragment also stores; the arc-responsibility dedup below.
-	foreignArc []map[uint64]bool
+	// foreignArc[i] is a bitset over fragment i's compiled arc slots:
+	// bit k set means a lower fragment also stores arc slot k, so this
+	// worker is not responsible for it. Replaces the former
+	// per-fragment map[uint64]bool with two array loads per probe.
+	foreignArc [][]uint64
 	// computeFrag[v] is the fragment of v's e-cut node, or -1 when v
 	// is v-cut (computation split across copies).
 	computeFrag []int32
@@ -122,25 +137,34 @@ type Cluster struct {
 	opts Options
 }
 
-// NewCluster prepares a cluster over p. The partition must not be
-// mutated while the cluster is in use.
+// NewCluster prepares a cluster over p, compiling the partition into
+// its flat execution form first. The partition must not be mutated
+// while the cluster is in use (a mutation drops the compiled form and
+// the responsibility index would go stale).
 func NewCluster(p *partition.Partition) *Cluster {
 	c := &Cluster{p: p, n: p.NumFragments(), pl: pool.Default()}
+	p.Compile()
 	c.buildResponsibility()
 	c.workers = make([]*WorkerCtx, c.n)
 	for i := 0; i < c.n; i++ {
-		c.workers[i] = &WorkerCtx{cluster: c, id: i}
+		c.workers[i] = &WorkerCtx{cluster: c, id: i, frag: p.Fragment(i), outbox: make([][]Message, c.n)}
 	}
 	return c
 }
 
 // EnableCostRecording makes workers keep per-vertex compute and
-// communication work, harvested later via HarvestSamples.
+// communication work, harvested later via HarvestSamples. The dense
+// recording arrays are allocated once and survive every reset —
+// consecutive Runs each record afresh and can each be harvested
+// (locked in by TestCostRecordingSurvivesConsecutiveRuns).
 func (c *Cluster) EnableCostRecording() {
 	c.recordCosts = true
+	nv := c.p.Graph().NumVertices()
 	for _, w := range c.workers {
-		w.vertexComp = map[graph.VertexID]float64{}
-		w.vertexComm = map[graph.VertexID]float64{}
+		if w.vertexComp == nil {
+			w.vertexComp = make([]float64, nv)
+			w.vertexComm = make([]float64, nv)
+		}
 	}
 }
 
@@ -167,23 +191,23 @@ func (c *Cluster) Worker(i int) *WorkerCtx { return c.workers[i] }
 // fragments are NOT responsible for it (every arc's responsible owner
 // is its lowest-id holder), plus each vertex's compute fragment.
 // Algorithms that must process each arc of G exactly once filter
-// through ResponsibleFor.
+// through ResponsibleFor. The result is one bitset per fragment,
+// indexed by compiled arc slot.
 func (c *Cluster) buildResponsibility() {
 	seen := make(map[uint64]bool, c.p.Graph().NumEdges())
-	c.foreignArc = make([]map[uint64]bool, c.n)
+	c.foreignArc = make([][]uint64, c.n)
 	for i := 0; i < c.n; i++ {
-		c.foreignArc[i] = map[uint64]bool{}
 		f := c.p.Fragment(i)
-		f.Vertices(func(v graph.VertexID, adj *partition.Adj) {
-			for _, w := range adj.Out {
-				k := uint64(v)<<32 | uint64(w)
-				if seen[k] {
-					c.foreignArc[i][k] = true
-				} else {
-					seen[k] = true
-				}
+		bits := make([]uint64, (f.NumArcSlots()+63)/64)
+		f.ArcSlots(func(slot int, u, v graph.VertexID) {
+			k := uint64(u)<<32 | uint64(v)
+			if seen[k] {
+				bits[slot>>6] |= 1 << (uint(slot) & 63)
+			} else {
+				seen[k] = true
 			}
 		})
+		c.foreignArc[i] = bits
 	}
 	nv := c.p.Graph().NumVertices()
 	c.computeFrag = make([]int32, nv)
@@ -226,13 +250,21 @@ func (c *Cluster) Run(init func(w *WorkerCtx), step StepFunc, maxSupersteps int)
 // replaying, GRAPE-style. Because the injector is deterministic and
 // each event fires once, a recovered run's Report matches the
 // fault-free run bitwise (diagnostics and WallTime aside).
+//
+// The superstep loop is allocation-free in the steady state: the
+// fan-out closures are hoisted out of the loop, outboxes and inboxes
+// are truncated and refilled in place, and SendVal payloads come from
+// the workers' double-buffered arenas. Per-superstep heap traffic is
+// therefore zero once buffer capacities stabilise (checkpoints and
+// recoveries, which clone state by design, are the exception).
 func (c *Cluster) RunCtx(ctx context.Context, init func(w *WorkerCtx), step StepFunc, maxSupersteps int) (*Report, error) {
 	if c.opts.MaxSupersteps > 0 {
 		maxSupersteps = c.opts.MaxSupersteps
 	}
 	inj := c.opts.Injector
+	armed := inj.Armed()
 	ckEvery := c.opts.CheckpointEvery
-	if ckEvery <= 0 && inj.Armed() {
+	if ckEvery <= 0 && armed {
 		ckEvery = 1
 	}
 	maxRec := c.opts.MaxRecoveries
@@ -262,6 +294,8 @@ func (c *Cluster) RunCtx(ctx context.Context, init func(w *WorkerCtx), step Step
 		c.parallel(func(w *WorkerCtx) { init(w) })
 	}
 	inboxes := make([][]Message, c.n)
+	halts := make([]bool, c.n)
+	redeliv := make([]int64, c.n)
 	var ck *checkpoint
 	lastCk := -1
 	if ckEvery > 0 {
@@ -272,9 +306,78 @@ func (c *Cluster) RunCtx(ctx context.Context, init func(w *WorkerCtx), step Step
 		lastCk = 0
 	}
 	attempts := 0
-	redeliv := make([]int64, c.n)
 
-	for s := 0; s < maxSupersteps; s++ {
+	// Hoisted fan-out bodies: created once per Run, so the superstep
+	// loop spends zero allocations on closures. All of them capture
+	// the loop variable s by reference.
+	var s int
+	stepChunk := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			w := c.workers[i]
+			// Flip the scalar arena: parity s&1 is written now, read
+			// by receivers during s+1, and truncated here at s+2.
+			if s >= 2 {
+				w.arenas[s&1] = w.arenas[s&1][:0]
+			}
+			w.arenaCur = uint8(s & 1)
+			w.stepWork = 0
+			w.stepBytes = 0
+			halts[i] = step(w, s, inboxes[i])
+		}
+	}
+	deliverChunk := func(lo, hi int) {
+		// Inbox dst is assembled from every sender's outbox in
+		// ascending sender order into dst's capacity-retained buffer,
+		// so delivery order is a pure function of the superstep's
+		// sends regardless of pool size. The assembled batch is the
+		// reliable-delivery ground truth: an injected drop/dup
+		// corrupts a copy, the per-batch count check detects it, and
+		// the ground truth is "redelivered" — wire accounting stays
+		// logical, so the Report is unaffected.
+		for dst := lo; dst < hi; dst++ {
+			in := inboxes[dst][:0]
+			for _, w := range c.workers {
+				if msgs := w.outbox[dst]; len(msgs) > 0 {
+					in = append(in, msgs...)
+				}
+			}
+			if armed {
+				if e, ok := inj.DeliveryFault(s, dst); ok && len(in) > 0 {
+					if corrupted := corruptBatch(in, e); len(corrupted) != len(in) {
+						redeliv[dst]++
+					}
+				}
+			}
+			inboxes[dst] = in
+		}
+	}
+	accountChunk := func(lo, hi int) {
+		// Wire accounting and outbox truncation, one item per sender
+		// (each writes only its own Report slots). Truncation keeps
+		// the buffers' capacity for the next superstep's sends.
+		for i := lo; i < hi; i++ {
+			w := c.workers[i]
+			for dst, msgs := range w.outbox {
+				rep.MsgCount[i] += int64(len(msgs))
+				for _, m := range msgs {
+					rep.MsgBytes[i] += m.Size()
+				}
+				w.outbox[dst] = msgs[:0]
+			}
+		}
+	}
+	rollback := func(cause error) error {
+		attempts++
+		rep.Recoveries++
+		if attempts > maxRec {
+			return cause
+		}
+		c.restore(ck, inboxes, rep)
+		s = ck.next - 1 // loop increment resumes at ck.next
+		return nil
+	}
+
+	for s = 0; s < maxSupersteps; s++ {
 		if err := ctx.Err(); err != nil {
 			return fail("cancelled", err)
 		}
@@ -292,7 +395,7 @@ func (c *Cluster) RunCtx(ctx context.Context, init func(w *WorkerCtx), step Step
 		// stall the barrier (wall time only).
 		var failEv *fault.Event
 		preFail := false
-		for i := 0; i < c.n && failEv == nil; i++ {
+		for i := 0; armed && i < c.n && failEv == nil; i++ {
 			for {
 				e, ok := inj.WorkerFault(s, i)
 				if !ok {
@@ -310,28 +413,13 @@ func (c *Cluster) RunCtx(ctx context.Context, init func(w *WorkerCtx), step Step
 				break
 			}
 		}
-		rollback := func(cause error) error {
-			attempts++
-			rep.Recoveries++
-			if attempts > maxRec {
-				return cause
-			}
-			c.restore(ck, inboxes, rep)
-			s = ck.next - 1 // loop increment resumes at ck.next
-			return nil
-		}
 		if failEv != nil && preFail {
 			if err := rollback(fmt.Errorf("injected fault: %s", failEv)); err != nil {
 				return fail("recovery budget exhausted", err)
 			}
 			continue
 		}
-		halts := make([]bool, c.n)
-		stepPanic, stepErr := c.tryParallelCtx(ctx, func(w *WorkerCtx) {
-			w.stepWork = 0
-			w.stepBytes = 0
-			halts[w.id] = step(w, s, inboxes[w.id])
-		})
+		stepPanic, stepErr := c.tryRunChunksCtx(ctx, stepChunk)
 		if stepPanic != nil {
 			if ck == nil {
 				// No fault tolerance configured: propagate like the
@@ -369,44 +457,12 @@ func (c *Cluster) RunCtx(ctx context.Context, init func(w *WorkerCtx), step Step
 		}
 		rep.CriticalWork += maxWork
 		rep.CriticalBytes += float64(maxBytes)
-		// Message-bus delivery, one pool item per destination: inbox
-		// dst is assembled from every sender's outbox in ascending
-		// sender order, so delivery order is a pure function of the
-		// superstep's sends regardless of pool size. The assembled
-		// batch is the reliable-delivery ground truth: an injected
-		// drop/dup corrupts a copy, the per-batch count check detects
-		// it, and the ground truth is "redelivered" — wire accounting
-		// below stays logical, so the Report is unaffected.
-		c.pl.Run(c.n, func(dst int) {
-			var in []Message
-			for _, w := range c.workers {
-				if msgs := w.outbox[dst]; len(msgs) > 0 {
-					in = append(in, msgs...)
-				}
-			}
-			if e, ok := inj.DeliveryFault(s, dst); ok && len(in) > 0 {
-				if corrupted := corruptBatch(in, e); len(corrupted) != len(in) {
-					redeliv[dst]++
-				}
-			}
-			inboxes[dst] = in
-		})
+		c.pl.RunChunks(c.n, 1, deliverChunk)
 		for dst := range redeliv {
 			rep.Redelivered += redeliv[dst]
 			redeliv[dst] = 0
 		}
-		// Wire accounting and outbox reset, one pool item per sender
-		// (each writes only its own Report slots).
-		c.pl.Run(c.n, func(i int) {
-			w := c.workers[i]
-			for dst, msgs := range w.outbox {
-				rep.MsgCount[i] += int64(len(msgs))
-				for _, m := range msgs {
-					rep.MsgBytes[i] += m.Size()
-				}
-				w.outbox[dst] = nil
-			}
-		})
+		c.pl.RunChunks(c.n, 1, accountChunk)
 		inflight := false
 		for i := range inboxes {
 			if len(inboxes[i]) > 0 {
@@ -440,11 +496,13 @@ func (c *Cluster) parallel(fn func(w *WorkerCtx)) {
 	})
 }
 
-// tryParallelCtx is parallel with the failure modes surfaced instead
-// of propagated: a pool worker panic is captured as *pool.Panic (the
-// recovery loop converts it into a rollback), and ctx cancellation
-// stops further worker claims and is returned as the ctx error.
-func (c *Cluster) tryParallelCtx(ctx context.Context, fn func(w *WorkerCtx)) (pv *pool.Panic, err error) {
+// tryRunChunksCtx is a per-worker chunk fan-out with the failure modes
+// surfaced instead of propagated: a pool worker panic is captured as
+// *pool.Panic (the recovery loop converts it into a rollback), and ctx
+// cancellation stops further worker claims and is returned as the ctx
+// error. Takes the prebuilt chunk body so the superstep loop does not
+// allocate a closure per call.
+func (c *Cluster) tryRunChunksCtx(ctx context.Context, fn func(lo, hi int)) (pv *pool.Panic, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			p, ok := r.(*pool.Panic)
@@ -454,11 +512,7 @@ func (c *Cluster) tryParallelCtx(ctx context.Context, fn func(w *WorkerCtx)) (pv
 			pv = p
 		}
 	}()
-	err = c.pl.RunChunksCtx(ctx, c.n, 1, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			fn(c.workers[i])
-		}
-	})
+	err = c.pl.RunChunksCtx(ctx, c.n, 1, fn)
 	return pv, err
 }
 
@@ -467,24 +521,43 @@ func (c *Cluster) tryParallelCtx(ctx context.Context, fn func(w *WorkerCtx)) (pv
 type WorkerCtx struct {
 	cluster *Cluster
 	id      int
+	frag    *partition.Fragment
 
 	outbox    [][]Message
 	stepWork  float64
 	stepBytes int64
 
-	vertexComp map[graph.VertexID]float64
-	vertexComm map[graph.VertexID]float64
+	// arenas are the double-buffered scalar payload buffers behind
+	// SendVal: parity s&1 is written during superstep s, read by
+	// receivers during s+1, and truncated at the start of s+2, so a
+	// payload always outlives every reader without any allocation.
+	arenas   [2][]float64
+	arenaCur uint8
+
+	// vertexComp / vertexComm are dense per-vertex cost accumulators
+	// (indexed by global vertex id), nil unless EnableCostRecording.
+	vertexComp []float64
+	vertexComm []float64
 
 	// State is scratch space owned by the running algorithm.
 	State any
 }
 
+// reset truncates the reusable buffers (keeping their capacity) and
+// clears algorithm and recording state for a fresh Run.
 func (w *WorkerCtx) reset() {
-	w.outbox = make([][]Message, w.cluster.n)
+	for i := range w.outbox {
+		w.outbox[i] = w.outbox[i][:0]
+	}
+	w.arenas[0] = w.arenas[0][:0]
+	w.arenas[1] = w.arenas[1][:0]
+	w.arenaCur = 0
 	w.State = nil
-	if w.vertexComp != nil {
-		w.vertexComp = map[graph.VertexID]float64{}
-		w.vertexComm = map[graph.VertexID]float64{}
+	for i := range w.vertexComp {
+		w.vertexComp[i] = 0
+	}
+	for i := range w.vertexComm {
+		w.vertexComm[i] = 0
 	}
 }
 
@@ -495,7 +568,7 @@ func (w *WorkerCtx) ID() int { return w.id }
 func (w *WorkerCtx) NumWorkers() int { return w.cluster.n }
 
 // Fragment returns the fragment this worker hosts.
-func (w *WorkerCtx) Fragment() *partition.Fragment { return w.cluster.p.Fragment(w.id) }
+func (w *WorkerCtx) Fragment() *partition.Fragment { return w.frag }
 
 // Partition returns the partition (read-only: structural queries such
 // as Master/Copies/Status are allowed; mutation is not).
@@ -504,15 +577,22 @@ func (w *WorkerCtx) Partition() *partition.Partition { return w.cluster.p }
 // Graph returns the underlying graph (read-only).
 func (w *WorkerCtx) Graph() *graph.Graph { return w.cluster.p.Graph() }
 
+// foreignBit reports whether the arc slot is owned by a lower
+// fragment: two array loads against the responsibility bitset.
+func (w *WorkerCtx) foreignBit(slot int) bool {
+	return w.cluster.foreignArc[w.id][slot>>6]&(1<<(uint(slot)&63)) != 0
+}
+
 // Responsible reports whether this worker owns the arc (u,v): it holds
 // the arc and no lower-id fragment does. Each arc of G is responsible
 // at exactly one worker, which is how replicated arcs are processed
 // exactly once.
 func (w *WorkerCtx) Responsible(u, v graph.VertexID) bool {
-	if !w.Fragment().HasArc(u, v) {
+	slot, ok := w.frag.ArcIndex(u, v)
+	if !ok {
 		return false
 	}
-	return !w.cluster.foreignArc[w.id][uint64(u)<<32|uint64(v)]
+	return !w.foreignBit(slot)
 }
 
 // ResponsibleFor reports whether this worker processes the arc (u,v)
@@ -524,13 +604,14 @@ func (w *WorkerCtx) Responsible(u, v graph.VertexID) bool {
 // per (subject, arc) pair, and migrating or splitting the subject
 // moves its work accordingly.
 func (w *WorkerCtx) ResponsibleFor(subject, u, v graph.VertexID) bool {
-	if !w.Fragment().HasArc(u, v) {
+	slot, ok := w.frag.ArcIndex(u, v)
+	if !ok {
 		return false
 	}
 	if cf := w.cluster.computeFrag[subject]; cf >= 0 {
 		return int(cf) == w.id
 	}
-	return !w.cluster.foreignArc[w.id][uint64(u)<<32|uint64(v)]
+	return !w.foreignBit(slot)
 }
 
 // Send enqueues a message for worker dst, delivered next superstep.
@@ -542,16 +623,34 @@ func (w *WorkerCtx) Send(dst int, m Message) {
 	}
 }
 
-// Mirrors returns the fragments holding copies of v other than this
-// worker.
-func (w *WorkerCtx) Mirrors(v graph.VertexID) []int {
-	var out []int
+// SendVal enqueues a single-value message without heap allocation: the
+// payload slot is carved from the worker's double-buffered arena, so
+// wire accounting is identical to Send with a one-element Data slice
+// while the steady-state superstep loop stays allocation-free. The
+// payload is valid while the receiver's step runs, like the inbox.
+func (w *WorkerCtx) SendVal(dst int, v graph.VertexID, kind uint8, val float64) {
+	a := append(w.arenas[w.arenaCur], val)
+	w.arenas[w.arenaCur] = a
+	w.Send(dst, Message{V: v, Kind: kind, Data: a[len(a)-1 : len(a) : len(a)]})
+}
+
+// AppendMirrors appends the fragments holding copies of v other than
+// this worker to dst and returns the extended slice. Pass a
+// state-held scratch (buf[:0]) to make the call allocation-free.
+func (w *WorkerCtx) AppendMirrors(dst []int, v graph.VertexID) []int {
 	for _, c := range w.cluster.p.Copies(v) {
 		if int(c) != w.id {
-			out = append(out, int(c))
+			dst = append(dst, int(c))
 		}
 	}
-	return out
+	return dst
+}
+
+// Mirrors returns the fragments holding copies of v other than this
+// worker. Allocates; hot paths use AppendMirrors with a scratch
+// slice.
+func (w *WorkerCtx) Mirrors(v graph.VertexID) []int {
+	return w.AppendMirrors(nil, v)
 }
 
 // IsMaster reports whether this worker hosts v's master copy.

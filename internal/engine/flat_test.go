@@ -1,0 +1,207 @@
+package engine
+
+import (
+	"testing"
+
+	"adp/internal/gen"
+	"adp/internal/graph"
+	"adp/internal/partition"
+	"adp/internal/pool"
+)
+
+// SendVal must behave exactly like Send with a one-element Data slice:
+// same delivery, same payload value, same wire accounting — while the
+// payload lives in the worker's reusable arena.
+func TestSendValDelivery(t *testing.T) {
+	c := testCluster(t, 2).UsePool(pool.Serial())
+	const rounds = 6
+	step := func(w *WorkerCtx, s int, inbox []Message) bool {
+		for _, m := range inbox {
+			want := float64(s-1)*10 + float64(1-w.ID())
+			if m.Data[0] != want {
+				t.Errorf("superstep %d worker %d got %v, want %v", s, w.ID(), m.Data[0], want)
+			}
+			if m.Size() != 16 {
+				t.Errorf("SendVal message size = %d, want 16", m.Size())
+			}
+		}
+		if s < rounds {
+			w.SendVal(1-w.ID(), graph.VertexID(s), 9, float64(s)*10+float64(w.ID()))
+			return false
+		}
+		return true
+	}
+	rep, err := c.Run(nil, step, rounds+3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rounds messages each way, 16 bytes apiece.
+	if rep.MsgBytes[0] != 16*rounds || rep.MsgBytes[1] != 16*rounds {
+		t.Fatalf("msg bytes = %v, want %d each", rep.MsgBytes, 16*rounds)
+	}
+}
+
+// Regression for EnableCostRecording being silently undone by reset():
+// two consecutive Runs on the same cluster must both record and both
+// harvest — identically, since they execute the same program.
+func TestCostRecordingSurvivesConsecutiveRuns(t *testing.T) {
+	c := testCluster(t, 2).UsePool(pool.Serial())
+	c.EnableCostRecording()
+	p := c.Partition()
+	step := func(w *WorkerCtx, s int, inbox []Message) bool {
+		w.Fragment().Vertices(func(v graph.VertexID, adj *partition.Adj) {
+			w.ChargeVertex(v, float64(adj.LocalDegree()))
+			if p.IsBorder(v) && w.IsMaster(v) {
+				w.ChargeVertexComm(v, 2)
+			}
+		})
+		return true
+	}
+	run := func() (comp, comm int) {
+		t.Helper()
+		if _, err := c.Run(nil, step, 2); err != nil {
+			t.Fatal(err)
+		}
+		cs, ms := c.HarvestSamples()
+		return len(cs), len(ms)
+	}
+	comp1, comm1 := run()
+	if comp1 == 0 || comm1 == 0 {
+		t.Fatalf("first harvest empty: %d comp, %d comm", comp1, comm1)
+	}
+	comp2, comm2 := run()
+	if comp2 != comp1 || comm2 != comm1 {
+		t.Fatalf("second harvest (%d comp, %d comm) differs from first (%d, %d): recording did not survive reset",
+			comp2, comm2, comp1, comm1)
+	}
+}
+
+// The steady-state superstep loop — step fan-out, SendVal, delivery,
+// accounting — must not allocate. Measured as a delta: once buffer
+// capacities are warmed, a 64-superstep Run must allocate no more than
+// an 8-superstep Run, so the marginal cost of a superstep is zero
+// heap allocations.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	c := testCluster(t, 2).UsePool(pool.Serial())
+	limit := 0
+	step := func(w *WorkerCtx, s int, inbox []Message) bool {
+		for _, m := range inbox {
+			w.AddWork(m.Data[0])
+		}
+		if s < limit {
+			w.SendVal(1-w.ID(), graph.VertexID(w.ID()), 3, 1)
+			w.SendVal(1-w.ID(), graph.VertexID(w.ID()), 4, 2)
+			return false
+		}
+		return true
+	}
+	run := func(n int) {
+		limit = n
+		if _, err := c.Run(nil, step, n+3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(64) // warm buffer capacities
+	short := testing.AllocsPerRun(5, func() { run(8) })
+	long := testing.AllocsPerRun(5, func() { run(64) })
+	if long > short {
+		t.Fatalf("64-superstep run allocates %.1f, 8-superstep run %.1f: %.2f allocs per extra superstep, want 0",
+			long, short, (long-short)/56)
+	}
+}
+
+// legacyResponsibility replicates the pre-CSR map-probe ownership test
+// (fragment arc-set map probe + foreign-arc map probe) as the baseline
+// for BenchmarkResponsibleFor.
+type legacyResponsibility struct {
+	arcs    []map[uint64]struct{}
+	foreign []map[uint64]bool
+}
+
+func newLegacyResponsibility(p *partition.Partition) *legacyResponsibility {
+	n := p.NumFragments()
+	lr := &legacyResponsibility{
+		arcs:    make([]map[uint64]struct{}, n),
+		foreign: make([]map[uint64]bool, n),
+	}
+	seen := make(map[uint64]bool)
+	for i := 0; i < n; i++ {
+		lr.arcs[i] = make(map[uint64]struct{})
+		lr.foreign[i] = make(map[uint64]bool)
+		p.Fragment(i).ArcSlots(func(_ int, u, v graph.VertexID) {
+			k := uint64(u)<<32 | uint64(v)
+			lr.arcs[i][k] = struct{}{}
+			if seen[k] {
+				lr.foreign[i][k] = true
+			} else {
+				seen[k] = true
+			}
+		})
+	}
+	return lr
+}
+
+func (lr *legacyResponsibility) responsible(i int, u, v graph.VertexID) bool {
+	k := uint64(u)<<32 | uint64(v)
+	if _, ok := lr.arcs[i][k]; !ok {
+		return false
+	}
+	return !lr.foreign[i][k]
+}
+
+// BenchmarkResponsibleFor probes arc ownership for every graph arc at
+// every worker — the inner-loop shape of the PR/TC/CN algorithms —
+// comparing the pre-PR map probes against the compiled bitset path.
+func BenchmarkResponsibleFor(b *testing.B) {
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 4000, AvgDeg: 8, Exponent: 2.1, Directed: true, Seed: 7})
+	assign := make([]int, g.NumVertices())
+	for v := range assign {
+		assign[v] = (v * 13) % 8
+	}
+	p, err := partition.FromVertexAssignment(g, assign, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewCluster(p)
+	type arc struct{ u, v graph.VertexID }
+	var arcsList []arc
+	g.Edges(func(u, v graph.VertexID) bool {
+		arcsList = append(arcsList, arc{u, v})
+		return true
+	})
+
+	b.Run("map", func(b *testing.B) {
+		lr := newLegacyResponsibility(p)
+		b.ReportAllocs()
+		b.ResetTimer()
+		owners := 0
+		for i := 0; i < b.N; i++ {
+			for _, a := range arcsList {
+				for w := 0; w < c.n; w++ {
+					if lr.responsible(w, a.u, a.v) {
+						owners++
+					}
+				}
+			}
+		}
+		if owners != len(arcsList)*b.N {
+			b.Fatalf("owners = %d", owners)
+		}
+	})
+	b.Run("csr", func(b *testing.B) {
+		b.ReportAllocs()
+		owners := 0
+		for i := 0; i < b.N; i++ {
+			for _, a := range arcsList {
+				for w := 0; w < c.n; w++ {
+					if c.Worker(w).Responsible(a.u, a.v) {
+						owners++
+					}
+				}
+			}
+		}
+		if owners != len(arcsList)*b.N {
+			b.Fatalf("owners = %d", owners)
+		}
+	})
+}

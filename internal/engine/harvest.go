@@ -1,8 +1,6 @@
 package engine
 
 import (
-	"sort"
-
 	"adp/internal/costmodel"
 	"adp/internal/graph"
 	"adp/internal/partition"
@@ -15,40 +13,35 @@ import (
 // pick vertices that are used in computation" / "we only collect the
 // communication cost of master nodes on fragment borders").
 //
+// The recording arrays are dense (indexed by vertex id), so harvesting
+// is a linear ascending scan — the same vertex order the former sorted
+// map-key walk produced.
+//
 // EnableCostRecording must have been called before Run.
 func (c *Cluster) HarvestSamples() (comp, comm []costmodel.Sample) {
 	if !c.recordCosts {
 		return nil, nil
 	}
 	for i, w := range c.workers {
-		for _, v := range sortedKeys(w.vertexComp) {
-			units := w.vertexComp[v]
+		for vi, units := range w.vertexComp {
 			if units <= 0 {
 				continue
 			}
+			v := graph.VertexID(vi)
 			switch c.p.Status(i, v) {
 			case partition.ECutNode, partition.VCutNode:
 				comp = append(comp, costmodel.Sample{X: costmodel.Extract(c.p, i, v), T: units})
 			}
 		}
-		for _, v := range sortedKeys(w.vertexComm) {
-			units := w.vertexComm[v]
+		for vi, units := range w.vertexComm {
 			if units <= 0 {
 				continue
 			}
+			v := graph.VertexID(vi)
 			if c.p.IsBorder(v) && c.p.Master(v) == i {
 				comm = append(comm, costmodel.Sample{X: costmodel.Extract(c.p, i, v), T: units})
 			}
 		}
 	}
 	return comp, comm
-}
-
-func sortedKeys(m map[graph.VertexID]float64) []graph.VertexID {
-	keys := make([]graph.VertexID, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
-	return keys
 }

@@ -24,12 +24,16 @@ type checkpoint struct {
 	msgBytes  []int64
 	critWork  float64
 	critBytes float64
-	comp      []map[graph.VertexID]float64
-	comm      []map[graph.VertexID]float64
+	// comp/comm mirror the workers' dense per-vertex recording arrays;
+	// snapshot is a slice clone and restore a copy(), the payoff of
+	// moving cost recording off maps.
+	comp [][]float64
+	comm [][]float64
 }
 
 // cloneMessages deep-copies a message batch, including payload slices,
-// so replayed supersteps cannot mutate checkpointed traffic.
+// so replayed supersteps cannot mutate checkpointed traffic (SendVal
+// payloads in particular live in arenas that replay overwrites).
 func cloneMessages(msgs []Message) []Message {
 	if msgs == nil {
 		return nil
@@ -43,17 +47,6 @@ func cloneMessages(msgs []Message) []Message {
 		if m.Adj != nil {
 			out[i].Adj = append([]graph.VertexID(nil), m.Adj...)
 		}
-	}
-	return out
-}
-
-func cloneVertexMap(m map[graph.VertexID]float64) map[graph.VertexID]float64 {
-	if m == nil {
-		return nil
-	}
-	out := make(map[graph.VertexID]float64, len(m))
-	for k, v := range m {
-		out[k] = v
 	}
 	return out
 }
@@ -74,8 +67,8 @@ func (c *Cluster) snapshot(next int, inboxes [][]Message, rep *Report) (*checkpo
 		critBytes: rep.CriticalBytes,
 	}
 	if c.recordCosts {
-		ck.comp = make([]map[graph.VertexID]float64, c.n)
-		ck.comm = make([]map[graph.VertexID]float64, c.n)
+		ck.comp = make([][]float64, c.n)
+		ck.comm = make([][]float64, c.n)
 	}
 	for i, w := range c.workers {
 		if w.State != nil {
@@ -96,8 +89,8 @@ func (c *Cluster) snapshot(next int, inboxes [][]Message, rep *Report) (*checkpo
 		ck.outboxes[i] = outb
 		ck.inboxes[i] = cloneMessages(inboxes[i])
 		if c.recordCosts {
-			ck.comp[i] = cloneVertexMap(w.vertexComp)
-			ck.comm[i] = cloneVertexMap(w.vertexComm)
+			ck.comp[i] = append([]float64(nil), w.vertexComp...)
+			ck.comm[i] = append([]float64(nil), w.vertexComm...)
 		}
 	}
 	return ck, nil
@@ -106,7 +99,10 @@ func (c *Cluster) snapshot(next int, inboxes [][]Message, rep *Report) (*checkpo
 // restore rolls every worker, the in-flight inboxes and the report
 // accumulators back to the checkpoint barrier. Stored states are
 // re-cloned (not handed out) so the checkpoint survives any number of
-// subsequent rollbacks untouched.
+// subsequent rollbacks untouched. Outboxes and inboxes are cloned into
+// fresh memory, which also detaches replay from the workers' SendVal
+// arenas — replay refills the arenas from the checkpointed superstep
+// onward.
 func (c *Cluster) restore(ck *checkpoint, inboxes [][]Message, rep *Report) {
 	for i, w := range c.workers {
 		if ck.states[i] == nil {
@@ -120,9 +116,11 @@ func (c *Cluster) restore(ck *checkpoint, inboxes [][]Message, rep *Report) {
 		}
 		w.outbox = outb
 		inboxes[i] = cloneMessages(ck.inboxes[i])
+		w.arenas[0] = w.arenas[0][:0]
+		w.arenas[1] = w.arenas[1][:0]
 		if c.recordCosts {
-			w.vertexComp = cloneVertexMap(ck.comp[i])
-			w.vertexComm = cloneVertexMap(ck.comm[i])
+			copy(w.vertexComp, ck.comp[i])
+			copy(w.vertexComm, ck.comm[i])
 		}
 	}
 	copy(rep.Work, ck.work)

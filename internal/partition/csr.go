@@ -1,0 +1,193 @@
+package partition
+
+import (
+	"sort"
+
+	"adp/internal/graph"
+)
+
+// compiledFragment is the flat, index-addressed execution form of a
+// Fragment: a dense local-id remap plus packed CSR-style adjacency and
+// a sorted arc array. It exists so the BSP engine's hot accessors
+// (HasArc, Vertices, Adjacency, ArcIndex) are array reads and binary
+// searches instead of map probes — the memory-layout discipline of
+// Buluç et al. applied to the fragment store.
+//
+// The mutable map form stays authoritative: the compiled form is a
+// cache built by Compile and dropped by every structural mutation, so
+// the refiners keep their cheap incremental updates and the engine
+// recompiles at cluster construction (the compile-after-mutate seam).
+type compiledFragment struct {
+	// ids holds every vertex copy in ascending id order; the index of
+	// a vertex in ids is its local id.
+	ids []graph.VertexID
+	// local maps a global vertex id to its local id, -1 when absent.
+	// Sized to the partition's vertex universe for O(1) remap.
+	local []int32
+	// adjs[l] is the adjacency of ids[l]; Out/In point into the packed
+	// outAdj/inAdj arrays (one allocation each, cache-dense).
+	adjs   []Adj
+	outAdj []graph.VertexID
+	inAdj  []graph.VertexID
+	// arcs is the sorted arc-key array; the index of a key is the
+	// fragment's arc slot, which the engine's responsibility bitsets
+	// are indexed by.
+	arcs []uint64
+	// arcOff[l] is the first index in arcs whose source is ids[l]
+	// (arcOff[len(ids)] = len(arcs)): keys sort by source first, so a
+	// source's arcs are contiguous and a probe is an O(1) remap plus a
+	// binary search over that vertex's out-degree only.
+	arcOff []int32
+}
+
+// Compile builds (or rebuilds) the flat execution form of every
+// fragment. Idempotent: already-compiled fragments are skipped, and
+// any structural mutation (AddArc, RemoveVertex, ...) drops the
+// affected fragment's compiled form so a later Compile refreshes it.
+// The engine compiles automatically at cluster construction; callers
+// only need Compile directly when benchmarking the flat accessors.
+//
+// Compile is safe to call from concurrent readers of an otherwise
+// quiescent partition (the bench grids build clusters over a shared
+// cached baseline): compilation is deterministic, so racing compiles
+// store interchangeable values. Mutation remains single-threaded, as
+// everywhere else in the package.
+func (p *Partition) Compile() *Partition {
+	nv := p.g.NumVertices()
+	for _, f := range p.frags {
+		if f.cf.Load() == nil {
+			f.cf.Store(compileFragment(f, nv))
+		}
+	}
+	return p
+}
+
+// Compiled reports whether the fragment currently carries its flat
+// execution form.
+func (f *Fragment) Compiled() bool { return f.cf.Load() != nil }
+
+// invalidate drops the compiled form; called by every structural
+// mutator so the map form stays the single source of truth.
+func (f *Fragment) invalidate() { f.cf.Store(nil) }
+
+func compileFragment(f *Fragment, numVertices int) *compiledFragment {
+	c := &compiledFragment{
+		ids:   make([]graph.VertexID, 0, len(f.verts)),
+		local: make([]int32, numVertices),
+	}
+	for i := range c.local {
+		c.local[i] = -1
+	}
+	for v := range f.verts {
+		c.ids = append(c.ids, v)
+	}
+	sort.Slice(c.ids, func(i, j int) bool { return c.ids[i] < c.ids[j] })
+	totalOut, totalIn := 0, 0
+	for _, v := range c.ids {
+		adj := f.verts[v]
+		totalOut += len(adj.Out)
+		totalIn += len(adj.In)
+	}
+	c.adjs = make([]Adj, len(c.ids))
+	c.outAdj = make([]graph.VertexID, 0, totalOut)
+	c.inAdj = make([]graph.VertexID, 0, totalIn)
+	for l, v := range c.ids {
+		c.local[v] = int32(l)
+		adj := f.verts[v]
+		// Packed lists preserve the mutable form's arc order exactly,
+		// so compiled execution visits arcs in the same order as the
+		// map form and floating-point reductions are unchanged.
+		oLo := len(c.outAdj)
+		c.outAdj = append(c.outAdj, adj.Out...)
+		iLo := len(c.inAdj)
+		c.inAdj = append(c.inAdj, adj.In...)
+		c.adjs[l] = Adj{Out: c.outAdj[oLo:len(c.outAdj):len(c.outAdj)], In: c.inAdj[iLo:len(c.inAdj):len(c.inAdj)]}
+	}
+	c.arcs = make([]uint64, 0, len(f.arcs))
+	for k := range f.arcs {
+		c.arcs = append(c.arcs, k)
+	}
+	sort.Slice(c.arcs, func(i, j int) bool { return c.arcs[i] < c.arcs[j] })
+	c.arcOff = make([]int32, len(c.ids)+1)
+	a := 0
+	for l, id := range c.ids {
+		lo := uint64(id) << 32
+		for a < len(c.arcs) && c.arcs[a] < lo {
+			a++ // arcs whose source has no copy here cannot exist (Validate), but stay safe
+		}
+		c.arcOff[l] = int32(a)
+		for a < len(c.arcs) && c.arcs[a]>>32 == uint64(id) {
+			a++
+		}
+	}
+	c.arcOff[len(c.ids)] = int32(len(c.arcs))
+	return c
+}
+
+// hasArc probes the compiled arc array: O(1) source remap plus a
+// binary search over that source's out-arcs only.
+func (c *compiledFragment) hasArc(u, v graph.VertexID) bool {
+	_, ok := c.arcIndex(u, v)
+	return ok
+}
+
+func (c *compiledFragment) arcIndex(u, v graph.VertexID) (int, bool) {
+	if int(u) >= len(c.local) {
+		return 0, false
+	}
+	lu := c.local[u]
+	if lu < 0 {
+		return 0, false
+	}
+	k := arcKey(u, v)
+	lo, hi := int(c.arcOff[lu]), int(c.arcOff[lu+1])
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.arcs[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(c.arcs) && c.arcs[lo] == k {
+		return lo, true
+	}
+	return 0, false
+}
+
+// LocalIndex returns the compiled-form local id of v, or -1 when v has
+// no copy here. Only valid on a compiled fragment (engine execution);
+// algorithms use it to keep per-vertex state in dense slices instead
+// of maps.
+func (f *Fragment) LocalIndex(v graph.VertexID) int {
+	c := f.cf.Load()
+	if int(v) >= len(c.local) {
+		return -1
+	}
+	return int(c.local[v])
+}
+
+// VertexAt returns the vertex with compiled local id l (the inverse of
+// LocalIndex). Only valid on a compiled fragment.
+func (f *Fragment) VertexAt(l int) graph.VertexID { return f.cf.Load().ids[l] }
+
+// ArcIndex returns the compiled arc slot of (u,v) — the index the
+// engine's responsibility bitsets use — and whether the arc is stored
+// locally. Only valid on a compiled fragment.
+func (f *Fragment) ArcIndex(u, v graph.VertexID) (int, bool) {
+	return f.cf.Load().arcIndex(u, v)
+}
+
+// NumArcSlots returns the compiled arc-array length (equal to NumArcs;
+// the engine sizes its responsibility bitsets with it). Only valid on
+// a compiled fragment.
+func (f *Fragment) NumArcSlots() int { return len(f.cf.Load().arcs) }
+
+// ArcSlots calls fn for every compiled arc slot in ascending key
+// order, decoding the (u,v) endpoints. Only valid on a compiled
+// fragment.
+func (f *Fragment) ArcSlots(fn func(slot int, u, v graph.VertexID)) {
+	for k, key := range f.cf.Load().arcs {
+		fn(k, graph.VertexID(key>>32), graph.VertexID(key&0xffffffff))
+	}
+}

@@ -1,0 +1,214 @@
+package partition_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adp/internal/costmodel"
+	"adp/internal/gen"
+	"adp/internal/graph"
+	"adp/internal/partition"
+	"adp/internal/partitioner"
+	"adp/internal/refine"
+)
+
+// buildShape produces one of the partition shapes the engine executes
+// over: a random edge-cut, a refined edge-cut (E2H output, so hybrid
+// with v-cut splits), or a refined vertex-cut (V2H output).
+func buildShape(t testing.TB, seed int64, mode int) *partition.Partition {
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 260, AvgDeg: 5, Exponent: 2.1, Directed: true, Seed: seed})
+	switch mode % 3 {
+	case 0:
+		rng := rand.New(rand.NewSource(seed + 1))
+		assign := make([]int, g.NumVertices())
+		for i := range assign {
+			assign[i] = rng.Intn(4)
+		}
+		p, err := partition.FromVertexAssignment(g, assign, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	case 1:
+		p, err := partitioner.FennelEdgeCut(g, 4, partitioner.FennelConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refine.E2H(p, costmodel.Reference(costmodel.PR), refine.Config{})
+		return p
+	default:
+		p, err := partitioner.GridVertexCut(g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refine.V2H(p, costmodel.Reference(costmodel.WCC), refine.Config{})
+		return p
+	}
+}
+
+// sameFragment compares every accessor the engine relies on between a
+// map-form fragment and its compiled twin.
+func sameFragment(t *testing.T, p, q *partition.Partition, i int) {
+	t.Helper()
+	f, cf := p.Fragment(i), q.Fragment(i)
+	if f.NumVertices() != cf.NumVertices() {
+		t.Fatalf("frag %d: NumVertices %d vs %d", i, f.NumVertices(), cf.NumVertices())
+	}
+	if f.NumArcs() != cf.NumArcSlots() {
+		t.Fatalf("frag %d: NumArcs %d vs NumArcSlots %d", i, f.NumArcs(), cf.NumArcSlots())
+	}
+	// Vertices must visit the same ids in the same (ascending) order
+	// with identical adjacency contents and order.
+	var mv, cv []graph.VertexID
+	f.Vertices(func(v graph.VertexID, _ *partition.Adj) { mv = append(mv, v) })
+	cf.Vertices(func(v graph.VertexID, _ *partition.Adj) { cv = append(cv, v) })
+	if len(mv) != len(cv) {
+		t.Fatalf("frag %d: vertex walk lengths %d vs %d", i, len(mv), len(cv))
+	}
+	for k := range mv {
+		if mv[k] != cv[k] {
+			t.Fatalf("frag %d: vertex walk order differs at %d: %d vs %d", i, k, mv[k], cv[k])
+		}
+	}
+	for l, v := range cv {
+		ma, ca := f.Adjacency(v), cf.Adjacency(v)
+		if len(ma.Out) != len(ca.Out) || len(ma.In) != len(ca.In) {
+			t.Fatalf("frag %d vertex %d: degrees (%d,%d) vs (%d,%d)",
+				i, v, len(ma.Out), len(ma.In), len(ca.Out), len(ca.In))
+		}
+		for k := range ma.Out {
+			if ma.Out[k] != ca.Out[k] {
+				t.Fatalf("frag %d vertex %d: out-adjacency order differs at %d", i, v, k)
+			}
+		}
+		for k := range ma.In {
+			if ma.In[k] != ca.In[k] {
+				t.Fatalf("frag %d vertex %d: in-adjacency order differs at %d", i, v, k)
+			}
+		}
+		if cf.LocalIndex(v) != l || cf.VertexAt(l) != v {
+			t.Fatalf("frag %d vertex %d: LocalIndex/VertexAt roundtrip broke (l=%d)", i, v, l)
+		}
+		if p.Status(i, v) != q.Status(i, v) {
+			t.Fatalf("frag %d vertex %d: status %v vs %v", i, v, p.Status(i, v), q.Status(i, v))
+		}
+	}
+}
+
+// Property: on randomized partitions of every family — including
+// post-refinement hybrid shapes — the compiled accessors agree with
+// the mutable map form on everything the engine reads.
+func TestQuickCompileEquivalence(t *testing.T) {
+	f := func(seed int64, modeRaw uint8) bool {
+		mode := int(modeRaw) % 3
+		p := buildShape(t, seed, mode)
+		q := p.Clone()
+		q.Compile()
+		for i := 0; i < p.NumFragments(); i++ {
+			if q.Fragment(i).Compiled() != true {
+				return false
+			}
+			sameFragment(t, p, q, i)
+		}
+		// HasArc: every graph arc, probed both ways round (the reverse
+		// direction is usually a miss), at every fragment.
+		ok := true
+		p.Graph().Edges(func(u, v graph.VertexID) bool {
+			for i := 0; i < p.NumFragments(); i++ {
+				if p.Fragment(i).HasArc(u, v) != q.Fragment(i).HasArc(u, v) ||
+					p.Fragment(i).HasArc(v, u) != q.Fragment(i).HasArc(v, u) {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Structural mutation must drop the compiled form, fall back to the
+// map path coherently, and recompile to the updated structure.
+func TestCompileInvalidatedByMutation(t *testing.T) {
+	p := buildShape(t, 42, 0)
+	p.Compile()
+	f := p.Fragment(0)
+	if !f.Compiled() {
+		t.Fatal("fragment not compiled after Compile")
+	}
+	// Pick an arc not yet present in fragment 0.
+	var u, v graph.VertexID
+	found := false
+	p.Graph().Edges(func(a, b graph.VertexID) bool {
+		if !f.HasArc(a, b) {
+			u, v, found = a, b, true
+			return false
+		}
+		return true
+	})
+	if !found {
+		t.Skip("fragment 0 holds every arc")
+	}
+	p.AddArc(0, u, v)
+	if f.Compiled() {
+		t.Fatal("AddArc did not invalidate the compiled form")
+	}
+	if !f.HasArc(u, v) {
+		t.Fatal("map fallback does not see the new arc")
+	}
+	p.Compile()
+	if !f.Compiled() || !f.HasArc(u, v) {
+		t.Fatal("recompiled form does not see the new arc")
+	}
+	if _, ok := f.ArcIndex(u, v); !ok {
+		t.Fatal("recompiled arc index misses the new arc")
+	}
+	if p.Validate() != nil {
+		t.Fatal("partition invalid after mutation")
+	}
+}
+
+// BenchmarkFragmentHasArc compares arc-presence probes on the mutable
+// map form against the compiled CSR form, over every graph arc at
+// every fragment (hits and misses mixed, as in engine execution).
+func BenchmarkFragmentHasArc(b *testing.B) {
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 4000, AvgDeg: 8, Exponent: 2.1, Directed: true, Seed: 7})
+	assign := make([]int, g.NumVertices())
+	for v := range assign {
+		assign[v] = (v * 13) % 8
+	}
+	p, err := partition.FromVertexAssignment(g, assign, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	type arc struct{ u, v graph.VertexID }
+	var arcsList []arc
+	g.Edges(func(u, v graph.VertexID) bool {
+		arcsList = append(arcsList, arc{u, v})
+		return true
+	})
+	probe := func(b *testing.B, p *partition.Partition) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		hits := 0
+		for i := 0; i < b.N; i++ {
+			for _, a := range arcsList {
+				for f := 0; f < p.NumFragments(); f++ {
+					if p.Fragment(f).HasArc(a.u, a.v) {
+						hits++
+					}
+				}
+			}
+		}
+		if hits == 0 {
+			b.Fatal("no hits")
+		}
+	}
+	compiled := p.Clone().Compile()
+	b.Run("map", func(b *testing.B) { probe(b, p) })
+	b.Run("csr", func(b *testing.B) { probe(b, compiled) })
+}

@@ -15,6 +15,7 @@ package partition
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"adp/internal/graph"
 )
@@ -62,10 +63,19 @@ func (a *Adj) LocalDegree() int { return len(a.Out) + len(a.In) }
 // Fragment is one piece Fi of a hybrid partition. It stores a set of
 // arcs of G as per-vertex adjacency plus an arc-set index for O(1)
 // membership tests.
+//
+// A Fragment has two representations: the mutable map form the
+// constructors and refiners build against, and a flat compiled form
+// (see Compile) the execution engine reads. The maps stay
+// authoritative — the compiled form is a cache dropped by every
+// structural mutation.
 type Fragment struct {
 	id    int
 	verts map[graph.VertexID]*Adj
 	arcs  map[uint64]struct{}
+	// cf caches the compiled form; atomic because concurrent cluster
+	// constructions may Compile a shared baseline partition.
+	cf atomic.Pointer[compiledFragment]
 }
 
 func arcKey(u, v graph.VertexID) uint64 { return uint64(u)<<32 | uint64(v) }
@@ -86,27 +96,57 @@ func (f *Fragment) Has(v graph.VertexID) bool {
 	return ok
 }
 
-// HasArc reports whether the arc (u,v) is stored locally.
+// HasArc reports whether the arc (u,v) is stored locally: a binary
+// search on the compiled arc array, a map probe otherwise.
 func (f *Fragment) HasArc(u, v graph.VertexID) bool {
+	if c := f.cf.Load(); c != nil {
+		return c.hasArc(u, v)
+	}
 	_, ok := f.arcs[arcKey(u, v)]
 	return ok
 }
 
 // Adjacency returns the local adjacency of v, or nil if absent.
-func (f *Fragment) Adjacency(v graph.VertexID) *Adj { return f.verts[v] }
+func (f *Fragment) Adjacency(v graph.VertexID) *Adj {
+	if c := f.cf.Load(); c != nil {
+		if int(v) >= len(c.local) {
+			return nil
+		}
+		l := c.local[v]
+		if l < 0 {
+			return nil
+		}
+		return &c.adjs[l]
+	}
+	return f.verts[v]
+}
 
 // Vertices calls fn for every vertex copy in ascending id order.
-// Deterministic iteration keeps the refiners reproducible.
+// Deterministic iteration keeps the refiners reproducible. On a
+// compiled fragment this walks the prebuilt id array (no per-call
+// sort, no map access).
 func (f *Fragment) Vertices(fn func(v graph.VertexID, adj *Adj)) {
-	ids := f.SortedVertices()
-	for _, v := range ids {
+	if c := f.cf.Load(); c != nil {
+		for l, v := range c.ids {
+			fn(v, &c.adjs[l])
+		}
+		return
+	}
+	for _, v := range f.sortVertices() {
 		fn(v, f.verts[v])
 	}
 }
 
 // SortedVertices returns the ids of all vertex copies in ascending
-// order.
+// order. The returned slice is the caller's to keep.
 func (f *Fragment) SortedVertices() []graph.VertexID {
+	if c := f.cf.Load(); c != nil {
+		return append([]graph.VertexID(nil), c.ids...)
+	}
+	return f.sortVertices()
+}
+
+func (f *Fragment) sortVertices() []graph.VertexID {
 	ids := make([]graph.VertexID, 0, len(f.verts))
 	for v := range f.verts {
 		ids = append(ids, v)
@@ -196,6 +236,7 @@ func (p *Partition) ensureVertex(i int, v graph.VertexID) *Adj {
 	if adj, ok := f.verts[v]; ok {
 		return adj
 	}
+	f.invalidate()
 	adj := &Adj{}
 	f.verts[v] = adj
 	p.insertCopy(v, int32(i))
@@ -247,6 +288,7 @@ func (p *Partition) AddArc(i int, u, v graph.VertexID) {
 	if _, ok := f.arcs[k]; ok {
 		return
 	}
+	f.invalidate()
 	f.arcs[k] = struct{}{}
 	ua := p.ensureVertex(i, u)
 	va := p.ensureVertex(i, v)
@@ -271,6 +313,7 @@ func (p *Partition) RemoveArc(i int, u, v graph.VertexID) bool {
 	if _, ok := f.arcs[k]; !ok {
 		return false
 	}
+	f.invalidate()
 	delete(f.arcs, k)
 	ua := f.verts[u]
 	ua.Out = removeID(ua.Out, v)
@@ -306,6 +349,7 @@ func (p *Partition) RemoveVertex(i int, v graph.VertexID) {
 	}
 	// The copy may remain as an edge-less placeholder; drop it.
 	if a, ok := f.verts[v]; ok && a.LocalDegree() == 0 {
+		f.invalidate()
 		delete(f.verts, v)
 		p.removeCopy(v, int32(i))
 	}
@@ -314,6 +358,7 @@ func (p *Partition) RemoveVertex(i int, v graph.VertexID) {
 func (p *Partition) dropIfIsolated(i int, v graph.VertexID) {
 	f := p.frags[i]
 	if adj, ok := f.verts[v]; ok && adj.LocalDegree() == 0 {
+		f.invalidate()
 		delete(f.verts, v)
 		p.removeCopy(v, int32(i))
 	}

@@ -245,6 +245,9 @@ func (p *Pool) runChunksCtx(ctx context.Context, n, chunk int, fn func(lo, hi in
 		runPerItem(ctx, n, fn)
 		return ctxErr(ctx)
 	}
+	if p.workers == 1 {
+		return p.runSerial(ctx, n, chunk, fn)
+	}
 	if chunk <= 0 {
 		chunk = n / (p.workers * 8)
 		if chunk < 1 {
@@ -275,6 +278,38 @@ func (p *Pool) runChunksCtx(ctx context.Context, n, chunk int, fn func(lo, hi in
 		panic(pv)
 	}
 	return ctxErr(ctx)
+}
+
+// runSerial is the single-worker fast path: chunks run on the caller's
+// goroutine in ascending order with no job bookkeeping, so a serial
+// fan-out performs zero heap allocations (the engine's steady-state
+// allocation guards run against pool.Serial and rely on this). The
+// panic contract is unchanged: the first chunk panic re-raises as
+// *Panic and the remaining chunks are skipped.
+func (p *Pool) runSerial(ctx context.Context, n, chunk int, fn func(lo, hi int)) error {
+	if chunk <= 0 {
+		chunk = n
+	}
+	for lo := 0; lo < n; lo += chunk {
+		if ctx != nil && ctx.Err() != nil {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		callSerial(fn, lo, hi)
+	}
+	return ctxErr(ctx)
+}
+
+func callSerial(fn func(lo, hi int), lo, hi int) {
+	defer func() {
+		if r := recover(); r != nil {
+			panic(&Panic{Value: r, Stack: debug.Stack()})
+		}
+	}()
+	fn(lo, hi)
 }
 
 func ctxErr(ctx context.Context) error {

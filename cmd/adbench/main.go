@@ -23,6 +23,7 @@ import (
 	"adp/internal/engine"
 	"adp/internal/fault"
 	"adp/internal/pool"
+	"adp/internal/prof"
 )
 
 func main() {
@@ -30,12 +31,21 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for rand:N fault schedules")
 	timeout := flag.Duration("timeout", 0, "abort the remaining experiments after this duration (0 = no timeout)")
 	faultSpec := flag.String("faults", "", `fault schedule injected into every engine run: grammar spec or "rand:N" (costs are unchanged by design)`)
-	jsonPath := flag.String("json", "", "run the engine/partition perf suite and write the machine-readable report (e.g. BENCH_3.json) to this path, then exit")
+	jsonPath := flag.String("json", "", "run the engine/partition perf suite and write the machine-readable report (e.g. BENCH_4.json) to this path, then exit")
+	against := flag.String("against", "", "with -json: compare engine_run ns/op against this prior report and exit 1 on a >20% regression")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	flag.Usage = usage
 	flag.Parse()
 	if *workers != 0 {
 		pool.SetDefaultWorkers(*workers)
 	}
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adbench:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 	if *jsonPath != "" {
 		rep, err := bench.Perf()
 		if err != nil {
@@ -57,6 +67,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("%s: %s\n", *jsonPath, rep.Summary())
+		if *against != "" {
+			prior, err := os.Open(*against)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "adbench:", err)
+				stopProf()
+				os.Exit(1)
+			}
+			err = rep.CompareAgainst(prior, 0.20)
+			prior.Close()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "adbench:", err)
+				stopProf()
+				os.Exit(1)
+			}
+			fmt.Printf("engine_run within the +20%% gate of %s\n", *against)
+		}
 		return
 	}
 	events, err := fault.FromFlag(*faultSpec, *seed, 8, 8)
@@ -116,7 +142,9 @@ usage:
 identical for every value; only wall time changes.
 -json PATH runs the engine/partition perf suite instead and writes the
 machine-readable benchmark report (ns/op, allocs/op, speedup vs the
-pinned pre-CSR baseline) to PATH.
+pinned pre-change baselines) to PATH; -against PRIOR then gates
+engine_run ns/op at +20% of the prior report, exiting 1 on regression.
+-cpuprofile / -memprofile write runtime/pprof CPU and heap profiles.
 -faults injects a deterministic fault schedule (grammar spec or
 "rand:N", drawn from -seed) into every engine run; checkpoint/recovery
 replays to identical barrier state, so every reported cost is

@@ -29,6 +29,7 @@ import (
 	"adp/internal/partition"
 	"adp/internal/partitioner"
 	"adp/internal/pool"
+	"adp/internal/prof"
 	"adp/internal/refine"
 )
 
@@ -44,11 +45,18 @@ func main() {
 		seed      = flag.Int64("seed", 1, "seed for rand:N fault schedules")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this duration (0 = no timeout)")
 		faultSpec = flag.String("faults", "", `fault schedule for the simulated run: grammar spec ("crash@1:w0,drop@2:d1#0") or "rand:N"`)
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this path on exit")
 	)
 	flag.Parse()
 	if *workers != 0 {
 		pool.SetDefaultWorkers(*workers)
 	}
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 	events, err := fault.FromFlag(*faultSpec, *seed, *n, 8)
 	if err != nil {
 		fatal(err)

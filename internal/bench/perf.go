@@ -15,6 +15,7 @@ import (
 	"adp/internal/partition"
 	"adp/internal/partitioner"
 	"adp/internal/pool"
+	"adp/internal/refine"
 )
 
 // PerfResult is one benchmark measurement in machine-readable form.
@@ -45,10 +46,18 @@ type PerfReport struct {
 	// EngineRunSpeedup is engine_run ns/op of the pinned pre-CSR
 	// baseline divided by this build's engine_run ns/op.
 	EngineRunSpeedup float64 `json:"engine_run_speedup_vs_baseline"`
+	// RefineE2HSpeedup is refine_e2h ns/op of the pinned pre-kernel
+	// baseline (map-backed tracker, interpreted Model.Eval) divided by
+	// this build's refine_e2h ns/op.
+	RefineE2HSpeedup float64 `json:"refine_e2h_speedup_vs_baseline"`
 	// SteadyStateAllocsPerSuperstep is the marginal heap allocations of
 	// one extra superstep of the PR workload on a warmed serial
 	// cluster; the flat message plane keeps it at zero.
 	SteadyStateAllocsPerSuperstep float64 `json:"steady_state_allocs_per_superstep"`
+	// ProbeSuperstepAllocs is the marginal heap allocations of one
+	// parallelMigrate superstep on warmed per-run scratch; the flat
+	// probe plane keeps it at zero.
+	ProbeSuperstepAllocs float64 `json:"probe_superstep_allocs"`
 }
 
 // engineRunBaseline is the pre-flat-data-plane BenchmarkEngineRun
@@ -62,6 +71,41 @@ var engineRunBaseline = PerfBaseline{
 	Note:        "pre-CSR map-backed engine, same workload (PowerLaw N=6000 deg=8, Fennel 8 frags, PR x5), measured at the PR-2 tree",
 }
 
+// refineBaselines are the pre-compiled-kernel refinement-plane
+// measurements (map-backed Tracker, interpreted Model.Eval, allocating
+// probe supersteps) on the same workloads, recorded at the PR-3 tree
+// before the flattening landed.
+var refineBaselines = []PerfBaseline{
+	{Name: "refine_e2h", NsPerOp: 180.1e6, AllocsPerOp: 74038,
+		Note: "map-backed tracker + interpreted Model.Eval (ParE2H, PowerLaw N=6000 deg=8, Fennel 8 frags, learned-degree model), measured at the PR-3 tree"},
+	{Name: "refine_v2h", NsPerOp: 255.0e6, AllocsPerOp: 74878,
+		Note: "map-backed tracker + interpreted Model.Eval (ParV2H, same graph, Grid 8 frags), measured at the PR-3 tree"},
+	{Name: "tracker_refresh", NsPerOp: 1312, AllocsPerOp: 0,
+		Note: "map-backed tracker Refresh across 8 fragments, measured at the PR-3 tree"},
+	{Name: "model_eval", NsPerOp: 92415, AllocsPerOp: 0,
+		Note: "interpreted Model.Eval, 1024 extracted Vars per op, measured at the PR-3 tree"},
+}
+
+// LearnedDegreeModel is the Model-form (learned-shape) cost pair the
+// refinement benchmarks are driven by: hA is a degree-2 polynomial
+// over {d+L, d+G} with CN-like weights and gA a degree-1 polynomial
+// over r with PR-like weights — the shape costmodel.Train produces for
+// the paper's algorithms, exercising the compiled-kernel path rather
+// than the analytic reference closures.
+func LearnedDegreeModel() costmodel.CostModel {
+	h := &costmodel.Model{
+		// PolyTerms order: [1, dG+, dL+, dG+^2, dL+*dG+, dL+^2].
+		Terms:   costmodel.PolyTerms([]costmodel.VarKind{costmodel.DLIn, costmodel.DGIn}, 2),
+		Weights: []float64{1.02e-6, 3e-8, 1.04e-6, 2e-9, 9.23e-5, 5e-9},
+	}
+	g := &costmodel.Model{
+		// PolyTerms order: [1, r].
+		Terms:   costmodel.PolyTerms([]costmodel.VarKind{costmodel.Repl}, 1),
+		Weights: []float64{1.1e-4, 6.6e-4},
+	}
+	return costmodel.CostModel{H: h, G: g}
+}
+
 // Perf runs the engine/partition micro and macro benchmarks via
 // testing.Benchmark and assembles the BENCH_3.json report.
 func Perf() (*PerfReport, error) {
@@ -72,10 +116,10 @@ func Perf() (*PerfReport, error) {
 	}
 	opts := algorithms.Options{PRIterations: 5}
 	rep := &PerfReport{
-		Schema:     "adp-bench/1",
+		Schema:     "adp-bench/2",
 		GoVersion:  runtime.Version(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Baselines:  []PerfBaseline{engineRunBaseline},
+		Baselines:  append([]PerfBaseline{engineRunBaseline}, refineBaselines...),
 	}
 	add := func(name string, r testing.BenchmarkResult) {
 		rep.Results = append(rep.Results, PerfResult{
@@ -149,6 +193,77 @@ func Perf() (*PerfReport, error) {
 		}
 	}))
 
+	// Refinement plane: the paper's Exp-3 cost — E2H/V2H driven by a
+	// learned-shape polynomial model. Clones are built off-clock so the
+	// series times refinement only.
+	ldm := LearnedDegreeModel()
+	refineE2H := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			q := p.Clone()
+			b.StartTimer()
+			refine.ParE2H(q, ldm, refine.Config{Pool: pool.Default()})
+		}
+	})
+	add("refine_e2h", refineE2H)
+	if ns := float64(refineE2H.T.Nanoseconds()) / float64(refineE2H.N); ns > 0 {
+		if base := baselineFor(rep, "refine_e2h"); base != nil && base.NsPerOp > 0 {
+			rep.RefineE2HSpeedup = base.NsPerOp / ns
+		}
+	}
+
+	vc, err := partitioner.GridVertexCut(g, 8)
+	if err != nil {
+		return nil, err
+	}
+	add("refine_v2h", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			q := vc.Clone()
+			b.StartTimer()
+			refine.ParV2H(q, ldm, refine.Config{Pool: pool.Default()})
+		}
+	}))
+
+	// Micro: one Tracker.Refresh (re-extract + re-evaluate one vertex
+	// across all 8 fragments) on the refinement workload.
+	trq := p.Clone()
+	tr := costmodel.NewTracker(trq, ldm)
+	nv := g.NumVertices()
+	add("tracker_refresh", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr.Refresh(graph.VertexID(i % nv))
+		}
+	}))
+
+	// Micro: the cost-kernel evaluation path the tracker drives — 1024
+	// extracted Vars per op through the hA kernel.
+	corpus := make([]costmodel.Vars, 0, 1024)
+	for v := 0; len(corpus) < 1024; v++ {
+		corpus = append(corpus, costmodel.Extract(p, v%p.NumFragments(), graph.VertexID(v%nv)))
+	}
+	kernel := costmodel.Compile(ldm.H)
+	add("model_eval", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		sink := 0.0
+		for i := 0; i < b.N; i++ {
+			for _, x := range corpus {
+				sink += kernel.Eval(x)
+			}
+		}
+		if sink == 0 {
+			b.Fatal("kernel evaluated to zero everywhere")
+		}
+	}))
+
+	// Probe-plane allocation check: marginal allocations of one
+	// parallelMigrate superstep on warmed per-run scratch (the
+	// zero-allocation probe plane contract).
+	rep.ProbeSuperstepAllocs = refine.ProbeLoopAllocs()
+
 	// Steady-state allocation check: marginal allocations of one extra
 	// superstep on a warmed serial cluster (the zero-allocation message
 	// plane contract, measured the same way TestSteadyStateZeroAllocs
@@ -171,6 +286,49 @@ func Perf() (*PerfReport, error) {
 	return rep, nil
 }
 
+// baselineFor returns the pinned baseline with the given name, nil
+// when none is recorded.
+func baselineFor(rep *PerfReport, name string) *PerfBaseline {
+	for i := range rep.Baselines {
+		if rep.Baselines[i].Name == name {
+			return &rep.Baselines[i]
+		}
+	}
+	return nil
+}
+
+// resultFor returns the named measurement of the report, nil when the
+// series was not run.
+func (r *PerfReport) resultFor(name string) *PerfResult {
+	for i := range r.Results {
+		if r.Results[i].Name == name {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// CompareAgainst gates this report against a prior BENCH_N.json: it
+// returns an error when this build's engine_run ns/op regressed by
+// more than maxRegress (a fraction; 0.20 = 20%) relative to the prior
+// report's engine_run. Series missing from either side are not an
+// error — a fresh series has no history to regress against.
+func (r *PerfReport) CompareAgainst(prior io.Reader, maxRegress float64) error {
+	var old PerfReport
+	if err := json.NewDecoder(prior).Decode(&old); err != nil {
+		return fmt.Errorf("bench: decoding prior report: %w", err)
+	}
+	cur, prev := r.resultFor("engine_run"), old.resultFor("engine_run")
+	if cur == nil || prev == nil || prev.NsPerOp <= 0 {
+		return nil
+	}
+	if cur.NsPerOp > prev.NsPerOp*(1+maxRegress) {
+		return fmt.Errorf("bench: engine_run regressed %.1f%% (%.2fms/op now vs %.2fms/op prior, gate is +%.0f%%)",
+			(cur.NsPerOp/prev.NsPerOp-1)*100, cur.NsPerOp/1e6, prev.NsPerOp/1e6, maxRegress*100)
+	}
+	return nil
+}
+
 // WriteJSON renders the report as indented JSON.
 func (r *PerfReport) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
@@ -180,12 +338,15 @@ func (r *PerfReport) WriteJSON(w io.Writer) error {
 
 // Summary is a one-line human rendering for the CLI.
 func (r *PerfReport) Summary() string {
-	var ns float64
+	var engNs, refNs float64
 	for _, res := range r.Results {
-		if res.Name == "engine_run" {
-			ns = res.NsPerOp
+		switch res.Name {
+		case "engine_run":
+			engNs = res.NsPerOp
+		case "refine_e2h":
+			refNs = res.NsPerOp
 		}
 	}
-	return fmt.Sprintf("engine_run %.1fms/op (%.2fx vs pre-CSR baseline), %.2f allocs/superstep steady-state",
-		ns/1e6, r.EngineRunSpeedup, r.SteadyStateAllocsPerSuperstep)
+	return fmt.Sprintf("engine_run %.1fms/op (%.2fx vs pre-CSR baseline), refine_e2h %.1fms/op (%.2fx vs map-backed baseline), %.2f allocs/superstep steady-state, %.2f allocs/probe-superstep",
+		engNs/1e6, r.EngineRunSpeedup, refNs/1e6, r.RefineE2HSpeedup, r.SteadyStateAllocsPerSuperstep, r.ProbeSuperstepAllocs)
 }

@@ -1,0 +1,210 @@
+package costmodel
+
+// This file is the compiled form of a Model: a flat term program the
+// refinement hot path evaluates instead of the interpreted
+// Model.Eval. The interpreted evaluator walks every term's full
+// [NumVars]uint8 exponent vector (8 slots, almost all zero) and
+// multiplies one factor at a time; the compiled form stores only the
+// nonzero factors of each term, packed into three parallel arrays, and
+// dispatches degenerate shapes (no terms, constant-only,
+// single-variable) to dedicated fast paths.
+//
+// Bitwise contract: Eval on the compiled form is bit-for-bit identical
+// to the interpreted Model.Eval for every input, not merely close.
+// Terms are summed in the original term order; within a term, factors
+// multiply in ascending variable order; and ipow is an unrolled
+// left-to-right multiply chain, exactly the association the
+// interpreted exponent loop produces (the leading 1.0·x of the
+// interpreted loop is exact under IEEE-754 and drops out). The
+// constant fast path folds Σ w_j·1.0 at compile time with the same
+// summation order. TestCompiledMatchesInterpreted locks this bitwise,
+// and the golden refiner Stats rely on it: refiners driven by a
+// compiled model reproduce the map-backed, interpreted trajectory
+// exactly.
+
+// compiledKind selects the evaluation fast path.
+type compiledKind uint8
+
+const (
+	// kindZero: a model with no terms evaluates to 0.
+	kindZero compiledKind = iota
+	// kindConst: every term has degree 0; the sum is folded at compile
+	// time.
+	kindConst
+	// kindSingle: every factor uses one shared variable; evaluation is
+	// a coefficient/exponent scan with no factor indirection.
+	kindSingle
+	// kindGeneral: the packed term program.
+	kindGeneral
+)
+
+// CompiledModel is the flat execution form of a Model. It implements
+// CostFunc and is immutable after Compile; a single instance may be
+// shared by concurrent readers (the parallel probe passes).
+type CompiledModel struct {
+	kind compiledKind
+
+	// constSum is the compile-time folded value of a kindConst model.
+	constSum float64
+
+	// weights[j] is the j-th term's coefficient (all kinds but
+	// kindZero/kindConst).
+	weights []float64
+
+	// kindSingle program: singleVar is the shared variable, exps[j] the
+	// j-th term's exponent of it (0 for interleaved constant terms).
+	singleVar uint8
+	exps      []uint8
+
+	// kindGeneral program: term j's nonzero factors are
+	// factorVar/factorExp[factorOff[j]:factorOff[j+1]], in ascending
+	// variable order.
+	factorOff []int32
+	factorVar []uint8
+	factorExp []uint8
+}
+
+// Compile lowers a cost function into its fastest evaluable form: a
+// *Model becomes a *CompiledModel, an already-compiled kernel or an
+// analytic closure (the Table-5 reference functions are plain Go) is
+// returned unchanged, and nil becomes Zero. The tracker compiles both
+// sides of its CostModel at construction, so refiners transparently
+// run on compiled kernels whenever they are handed a learned Model.
+func Compile(f CostFunc) CostFunc {
+	switch m := f.(type) {
+	case *Model:
+		return CompileModel(m)
+	case *CompiledModel:
+		return m
+	case nil:
+		return Zero
+	}
+	return f
+}
+
+// CompileCostModel compiles both cost functions of a model pair.
+func CompileCostModel(m CostModel) CostModel {
+	return CostModel{H: Compile(m.H), G: Compile(m.G)}
+}
+
+// CompileModel lowers m into its flat term program. The model must be
+// well-formed (one weight per term, as Model.Eval requires).
+func CompileModel(m *Model) *CompiledModel {
+	c := &CompiledModel{}
+	if len(m.Terms) == 0 {
+		c.kind = kindZero
+		return c
+	}
+
+	// Classify: degenerate shapes get dedicated programs.
+	constOnly := true
+	singleVar, multiVar := -1, false
+	for _, t := range m.Terms {
+		for k, e := range t.Exps {
+			if e == 0 {
+				continue
+			}
+			constOnly = false
+			if singleVar < 0 {
+				singleVar = k
+			} else if singleVar != k {
+				multiVar = true
+			}
+		}
+	}
+
+	if constOnly {
+		// Fold Σ w_j·1.0 now, in term order — the same additions the
+		// interpreted evaluator would perform at runtime.
+		c.kind = kindConst
+		for j := range m.Terms {
+			c.constSum += m.Weights[j] * 1.0
+		}
+		return c
+	}
+
+	c.weights = append([]float64(nil), m.Weights[:len(m.Terms)]...)
+	if !multiVar {
+		c.kind = kindSingle
+		c.singleVar = uint8(singleVar)
+		c.exps = make([]uint8, len(m.Terms))
+		for j, t := range m.Terms {
+			c.exps[j] = t.Exps[singleVar]
+		}
+		return c
+	}
+
+	c.kind = kindGeneral
+	c.factorOff = make([]int32, 1, len(m.Terms)+1)
+	for _, t := range m.Terms {
+		for k, e := range t.Exps {
+			if e > 0 {
+				c.factorVar = append(c.factorVar, uint8(k))
+				c.factorExp = append(c.factorExp, e)
+			}
+		}
+		c.factorOff = append(c.factorOff, int32(len(c.factorVar)))
+	}
+	return c
+}
+
+// ipow raises x to a small integer power with an unrolled
+// left-to-right multiply chain — the association the interpreted
+// exponent loop uses, so results are bitwise identical.
+func ipow(x float64, e uint8) float64 {
+	switch e {
+	case 0:
+		return 1
+	case 1:
+		return x
+	case 2:
+		return x * x
+	case 3:
+		return (x * x) * x
+	case 4:
+		return ((x * x) * x) * x
+	}
+	v := x
+	for i := uint8(1); i < e; i++ {
+		v *= x
+	}
+	return v
+}
+
+// Eval implements CostFunc on the compiled program.
+func (c *CompiledModel) Eval(x Vars) float64 {
+	switch c.kind {
+	case kindZero:
+		return 0
+	case kindConst:
+		return c.constSum
+	case kindSingle:
+		sum := 0.0
+		xv := x[c.singleVar]
+		for j, w := range c.weights {
+			sum += w * ipow(xv, c.exps[j])
+		}
+		return sum
+	}
+	sum := 0.0
+	for j, w := range c.weights {
+		lo, hi := c.factorOff[j], c.factorOff[j+1]
+		v := 1.0 // a degree-0 term inside a general model
+		if lo < hi {
+			// The first factor may use ipow's unrolled chain (1.0·x is
+			// exact, so starting from x is the interpreted association);
+			// later factors must fold into the running product one
+			// multiply at a time — v *= ipow(y, e) would associate as
+			// v·(y^e), which is not the interpreted (((v·y)·y)·…).
+			v = ipow(x[c.factorVar[lo]], c.factorExp[lo])
+			for f := lo + 1; f < hi; f++ {
+				xf := x[c.factorVar[f]]
+				for e := c.factorExp[f]; e > 0; e-- {
+					v *= xf
+				}
+			}
+		}
+		sum += w * v
+	}
+	return sum
+}

@@ -1,0 +1,206 @@
+package costmodel
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomModel draws a model whose shape covers every compiled kind:
+// zero-term, constant-only, single-variable, and general multivariate
+// programs up to degree 3 (the largest degree the learning pipeline
+// expands), plus raw random exponent vectors that exercise exponents
+// beyond the unrolled ipow cases.
+func randomModel(rng *rand.Rand) *Model {
+	m := &Model{}
+	switch rng.Intn(5) {
+	case 0: // zero terms
+		return m
+	case 1: // constant-only (1..3 degree-0 terms)
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			m.Terms = append(m.Terms, Term{})
+			m.Weights = append(m.Weights, randWeight(rng))
+		}
+		return m
+	case 2: // single-variable polynomial, degree up to 3
+		v := VarKind(rng.Intn(int(NumVars)))
+		m.Terms = PolyTerms([]VarKind{v}, 1+rng.Intn(3))
+	case 3: // the learning pipeline's shape: PolyTerms over 2-3 vars
+		perm := rng.Perm(int(NumVars))
+		nv := 2 + rng.Intn(2)
+		vars := make([]VarKind, 0, nv)
+		for _, k := range perm[:nv] {
+			vars = append(vars, VarKind(k))
+		}
+		m.Terms = PolyTerms(vars, 1+rng.Intn(3))
+	default: // raw random exponent vectors, exponents up to 6
+		n := 1 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			var t Term
+			for f := 0; f < 1+rng.Intn(3); f++ {
+				t.Exps[rng.Intn(int(NumVars))] = uint8(rng.Intn(7))
+			}
+			m.Terms = append(m.Terms, t)
+		}
+	}
+	for range m.Terms {
+		m.Weights = append(m.Weights, randWeight(rng))
+	}
+	return m
+}
+
+func randWeight(rng *rand.Rand) float64 {
+	switch rng.Intn(6) {
+	case 0:
+		return 0
+	case 1:
+		return -rng.Float64() * 1e-3
+	case 2:
+		return rng.Float64() * 1e6
+	}
+	return rng.NormFloat64() * 1e-4
+}
+
+func randVars(rng *rand.Rand) Vars {
+	var x Vars
+	for k := range x {
+		switch rng.Intn(4) {
+		case 0:
+			x[k] = 0
+		case 1:
+			x[k] = float64(rng.Intn(1000)) // degree-like integers
+		case 2:
+			x[k] = rng.Float64() * 50
+		default:
+			x[k] = -rng.Float64() * 10 // bitwise contract holds off-domain too
+		}
+	}
+	return x
+}
+
+// TestCompiledMatchesInterpreted is the compiled-kernel property test:
+// over randomized models × randomized Vars — including the degenerate
+// shapes (zero terms, constant-only, degree-3) — the compiled program
+// agrees with the interpreted Model.Eval bit for bit. Equality is
+// asserted on Float64bits, not within a tolerance: the compiled form
+// preserves term order and factor association exactly, so this is the
+// contract the golden refiner Stats rest on.
+func TestCompiledMatchesInterpreted(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 500; trial++ {
+		m := randomModel(rng)
+		c := CompileModel(m)
+		for probe := 0; probe < 40; probe++ {
+			x := randVars(rng)
+			want, got := m.Eval(x), c.Eval(x)
+			if math.Float64bits(want) != math.Float64bits(got) {
+				t.Fatalf("trial %d: compiled eval drifted:\nmodel %v\nx = %v\ninterpreted %v (%#016x)\ncompiled    %v (%#016x)",
+					trial, m, x, want, math.Float64bits(want), got, math.Float64bits(got))
+			}
+		}
+	}
+}
+
+func TestCompileFastPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *Model
+		kind compiledKind
+	}{
+		{"zero terms", &Model{}, kindZero},
+		{"constant only", &Model{Terms: []Term{{}, {}}, Weights: []float64{2, 3}}, kindConst},
+		{"single variable", &Model{Terms: PolyTerms([]VarKind{DLIn}, 3), Weights: []float64{1, 2, 3, 4}}, kindSingle},
+		{"general", &Model{Terms: PolyTerms([]VarKind{DLIn, DGIn}, 2), Weights: []float64{1, 2, 3, 4, 5, 6}}, kindGeneral},
+	}
+	for _, tc := range cases {
+		c := CompileModel(tc.m)
+		if c.kind != tc.kind {
+			t.Errorf("%s: compiled kind = %d, want %d", tc.name, c.kind, tc.kind)
+		}
+		x := Vars{3, 1, 4, 1, 5, 9, 2, 6}
+		if want, got := tc.m.Eval(x), c.Eval(x); math.Float64bits(want) != math.Float64bits(got) {
+			t.Errorf("%s: eval = %v, want %v", tc.name, got, want)
+		}
+	}
+}
+
+func TestCompilePassthrough(t *testing.T) {
+	f := Func(func(x Vars) float64 { return x[Repl] })
+	if got := Compile(f); reflect.ValueOf(got).Pointer() != reflect.ValueOf(f).Pointer() {
+		t.Error("Compile(Func) must return the closure unchanged")
+	}
+	if got := Compile(nil); reflect.ValueOf(got).Pointer() != reflect.ValueOf(Zero).Pointer() {
+		t.Error("Compile(nil) must return Zero")
+	}
+	c := CompileModel(&Model{})
+	if got := Compile(c); got != CostFunc(c) {
+		t.Error("Compile(*CompiledModel) must be idempotent")
+	}
+	m := &Model{Terms: PolyTerms([]VarKind{Repl}, 1), Weights: []float64{1, 2}}
+	cm := CompileCostModel(CostModel{H: m, G: nil})
+	if _, ok := cm.H.(*CompiledModel); !ok {
+		t.Errorf("CompileCostModel did not compile H: %T", cm.H)
+	}
+	if reflect.ValueOf(cm.G).Pointer() != reflect.ValueOf(Zero).Pointer() {
+		t.Error("CompileCostModel must map nil G to Zero")
+	}
+}
+
+// FuzzModelJSON fuzzes the Model JSON codec: any input either fails to
+// unmarshal or yields a model whose Marshal → Unmarshal round trip is
+// lossless (same terms, same weights, and a compiled form that agrees
+// with the original on a probe evaluation). The graph and partition
+// readers are fuzzed elsewhere; this covers the remaining untrusted
+// decoder, the model files adpart/adtrain exchange.
+func FuzzModelJSON(f *testing.F) {
+	seed := &Model{Terms: PolyTerms([]VarKind{DLIn, DGIn}, 2), Weights: []float64{1.02e-6, 3e-8, 1.04e-6, 2e-9, 9.23e-5, 5e-9}}
+	b, err := json.Marshal(seed)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(b)
+	f.Add([]byte(`{"terms":[],"weights":[]}`))
+	f.Add([]byte(`{"terms":[[0,0,0,0,0,0,0,0]],"weights":[3.5]}`))
+	f.Add([]byte(`{"terms":[[1,0,2,0,0,0,0,0]],"weights":[1e300]}`))
+	f.Add([]byte(`{"terms":[[1,0,0,0,0,0,0,0]],"weights":[1,2]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Model
+		if err := json.Unmarshal(data, &m); err != nil {
+			return // rejected inputs are fine; they must just not panic
+		}
+		if len(m.Terms) != len(m.Weights) {
+			t.Fatalf("decoder accepted mismatched arity: %d terms, %d weights", len(m.Terms), len(m.Weights))
+		}
+		out, err := json.Marshal(&m)
+		if err != nil {
+			t.Fatalf("remarshal failed: %v", err)
+		}
+		var back Model
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("round trip failed to decode: %v\npayload: %s", err, out)
+		}
+		if !reflect.DeepEqual(m.Terms, back.Terms) {
+			t.Fatalf("terms not preserved:\n in %v\nout %v", m.Terms, back.Terms)
+		}
+		if len(m.Weights) != len(back.Weights) {
+			t.Fatalf("weight count not preserved: %d vs %d", len(m.Weights), len(back.Weights))
+		}
+		for j := range m.Weights {
+			if math.Float64bits(m.Weights[j]) != math.Float64bits(back.Weights[j]) &&
+				!(math.IsNaN(m.Weights[j]) && math.IsNaN(back.Weights[j])) {
+				t.Fatalf("weight %d not preserved: %v vs %v", j, m.Weights[j], back.Weights[j])
+			}
+		}
+		// The compiled form of the round-tripped model agrees with the
+		// interpreted original.
+		x := Vars{2, 3, 5, 7, 1, 4, 1, 2}
+		if want, got := m.Eval(x), CompileModel(&back).Eval(x); math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("compiled round trip drifted: %v vs %v", want, got)
+		}
+		_ = bytes.Equal(data, out) // key order may differ; equality not required
+	})
+}

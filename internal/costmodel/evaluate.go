@@ -82,31 +82,119 @@ func LambdaCost(costs []FragCost) float64 {
 // call Refresh(v). Refresh recomputes those vertices' contributions in
 // all fragments (a vertex's own variables depend only on its own
 // adjacency, copies and status, so this is exact).
+//
+// Representation: per-fragment contributions live in dense slabs
+// indexed by a compact vertex remap (fragSlab) instead of hash maps,
+// and cost functions are lowered by Compile at construction, so the
+// refinement hot path — Refresh, Contribution, CommAt,
+// HypotheticalComp — performs no map probes, no hashing, and no
+// allocation. A stored value of 0 means "no contribution", mirroring
+// the retired map's delete-on-zero semantics so the accumulation
+// sequence on comp/comm (and therefore every float result) is bitwise
+// identical to the map-backed implementation.
 type Tracker struct {
 	p     *partition.Partition
-	m     CostModel
+	m     CostModel // compiled at construction
 	comp  []float64
 	comm  []float64
-	vComp map[uint64]float64 // (frag<<32|v) -> current Comp contribution
-	vComm map[uint64]float64
+	slabs []fragSlab
+	// base caches the graph-derived variables that cannot change while
+	// the tracker is live (the graph is immutable during refinement):
+	// DGIn, DGOut and AvgDeg. extract and HypotheticalComp start from
+	// it instead of re-reading the graph on every probe. Mutable
+	// per-vertex state (local degrees, replication, status, VData) is
+	// filled in fresh each time.
+	base []Vars
+	// stamp/epoch implement RefreshSet's first-occurrence dedup without
+	// a per-call set allocation.
+	stamp []uint64
+	epoch uint64
 }
 
-func trackKey(i int, v graph.VertexID) uint64 { return uint64(i)<<32 | uint64(v) }
+// fragSlab is one fragment's dense contribution store. slot maps a
+// vertex id to a slab index (-1 when the vertex never had a tracked
+// contribution here); the slabs grow by appending when refinement
+// moves a new vertex into the fragment. On a compiled fragment the
+// remap starts as the CSR local-id array (compact); otherwise slots
+// are graph-wide vertex ids.
+type fragSlab struct {
+	slot   []int32
+	comp   []float64
+	comm   []float64
+	vars   []Vars // cached Extract result, valid while varsOK
+	varsOK []bool
+}
+
+func (s *fragSlab) init(f *partition.Fragment, numVertices int) {
+	if remap, n := f.LocalRemap(numVertices); remap != nil {
+		s.slot = remap
+		s.grow(n)
+		return
+	}
+	s.slot = make([]int32, numVertices)
+	for v := range s.slot {
+		s.slot[v] = int32(v)
+	}
+	s.grow(numVertices)
+}
+
+func (s *fragSlab) grow(n int) {
+	for len(s.comp) < n {
+		s.comp = append(s.comp, 0)
+		s.comm = append(s.comm, 0)
+		s.vars = append(s.vars, Vars{})
+		s.varsOK = append(s.varsOK, false)
+	}
+}
+
+// slotOf returns v's slab index, or -1 when v has never been tracked
+// in this fragment.
+func (s *fragSlab) slotOf(v graph.VertexID) int32 {
+	if int(v) >= len(s.slot) {
+		return -1
+	}
+	return s.slot[v]
+}
+
+// ensure returns v's slab index, appending a fresh slot when v enters
+// the fragment for the first time.
+func (s *fragSlab) ensure(v graph.VertexID) int32 {
+	if l := s.slot[v]; l >= 0 {
+		return l
+	}
+	l := int32(len(s.comp))
+	s.slot[v] = l
+	s.grow(len(s.comp) + 1)
+	return l
+}
 
 // NewTracker evaluates p fully and returns a tracker positioned on it.
+// The cost functions are compiled (see Compile): learned Models run as
+// flat term programs on every subsequent probe.
 func NewTracker(p *partition.Partition, m CostModel) *Tracker {
+	g := p.Graph()
 	t := &Tracker{
 		p:     p,
-		m:     m,
+		m:     CompileCostModel(m),
 		comp:  make([]float64, p.NumFragments()),
 		comm:  make([]float64, p.NumFragments()),
-		vComp: map[uint64]float64{},
-		vComm: map[uint64]float64{},
+		slabs: make([]fragSlab, p.NumFragments()),
+		base:  make([]Vars, g.NumVertices()),
+		stamp: make([]uint64, g.NumVertices()),
+	}
+	avg := g.AvgDegree()
+	for v := range t.base {
+		t.base[v][DGIn] = float64(g.InDegree(graph.VertexID(v)))
+		t.base[v][DGOut] = float64(g.OutDegree(graph.VertexID(v)))
+		t.base[v][AvgDeg] = avg
+	}
+	for i := range t.slabs {
+		t.slabs[i].init(p.Fragment(i), g.NumVertices())
 	}
 	for i := 0; i < p.NumFragments(); i++ {
 		f := p.Fragment(i)
 		f.Vertices(func(v graph.VertexID, _ *partition.Adj) {
-			t.refreshAt(i, v)
+			t.refreshAt(i, v, p.CompleteFragment(v))
 		})
 	}
 	return t
@@ -134,56 +222,114 @@ func (t *Tracker) Costs() []FragCost {
 }
 
 // Refresh recomputes the contribution of each vertex in every
-// fragment. Cost O(n) per vertex with n = fragment count.
+// fragment. Cost per vertex: one completeness classification
+// (CompleteFragment) plus an O(1) slab update per fragment — no map
+// probes and no allocation.
 func (t *Tracker) Refresh(vs ...graph.VertexID) {
 	for _, v := range vs {
+		cf := t.p.CompleteFragment(v)
 		for i := 0; i < t.p.NumFragments(); i++ {
-			t.refreshAt(i, v)
+			t.refreshAt(i, v, cf)
 		}
 	}
 }
 
-func (t *Tracker) refreshAt(i int, v graph.VertexID) {
-	k := trackKey(i, v)
+// RefreshSet refreshes each distinct vertex of vs once, in
+// first-occurrence order — the dedup the refiners' touched lists need,
+// performed with a per-vertex epoch stamp instead of a per-call set
+// allocation.
+func (t *Tracker) RefreshSet(vs []graph.VertexID) {
+	t.epoch++
+	for _, v := range vs {
+		if t.stamp[v] == t.epoch {
+			continue
+		}
+		t.stamp[v] = t.epoch
+		t.Refresh(v)
+	}
+}
+
+// extract rebuilds X(v) for fragment i from the cached base vector —
+// value-identical to Extract, without re-reading the graph. cf is
+// CompleteFragment(v); the copy is an e-cut node exactly when cf == i.
+func (t *Tracker) extract(i int, v graph.VertexID, f *partition.Fragment, cf int) Vars {
+	x := t.base[v]
+	x[Repl] = float64(t.p.Replication(v))
+	if adj := f.Adjacency(v); adj != nil {
+		x[DLIn] = float64(len(adj.In))
+		x[DLOut] = float64(len(adj.Out))
+	}
+	if cf != i {
+		x[NotECut] = 1
+	}
+	x[VData] = t.p.VertexWeight(v)
+	return x
+}
+
+// refreshAt replays the map-backed accumulation sequence on the dense
+// slab: subtract the stored (nonzero) contributions, then store and
+// add the recomputed ones, zero meaning "none". cf is the caller's
+// CompleteFragment(v).
+func (t *Tracker) refreshAt(i int, v graph.VertexID, cf int) {
+	s := &t.slabs[i]
+	f := t.p.Fragment(i)
 	var nc, nm float64
-	if t.p.Fragment(i).Has(v) {
-		switch t.p.Status(i, v) {
-		case partition.ECutNode, partition.VCutNode:
-			nc = t.m.H.Eval(Extract(t.p, i, v))
+	slot := int32(-1)
+	if f.Has(v) {
+		slot = s.ensure(v)
+		x := t.extract(i, v, f, cf)
+		s.vars[slot] = x
+		s.varsOK[slot] = true
+		if cf == i || cf < 0 { // ECutNode or VCutNode; dummies compute nothing
+			nc = t.m.H.Eval(x)
 		}
 		if t.p.IsBorder(v) && t.p.Master(v) == i {
-			nm = t.m.G.Eval(Extract(t.p, i, v))
+			nm = t.m.G.Eval(x)
 		}
+	} else {
+		slot = s.slotOf(v)
+		if slot < 0 {
+			return
+		}
+		s.varsOK[slot] = false
 	}
-	if old, ok := t.vComp[k]; ok {
+	if old := s.comp[slot]; old != 0 {
 		t.comp[i] -= old
 	}
-	if old, ok := t.vComm[k]; ok {
+	if old := s.comm[slot]; old != 0 {
 		t.comm[i] -= old
 	}
+	s.comp[slot], s.comm[slot] = 0, 0
 	if nc != 0 {
-		t.vComp[k] = nc
+		s.comp[slot] = nc
 		t.comp[i] += nc
-	} else {
-		delete(t.vComp, k)
 	}
 	if nm != 0 {
-		t.vComm[k] = nm
+		s.comm[slot] = nm
 		t.comm[i] += nm
-	} else {
-		delete(t.vComm, k)
 	}
 }
 
 // Contribution returns v's current tracked Comp contribution inside
 // fragment i (0 when absent or dummy).
 func (t *Tracker) Contribution(i int, v graph.VertexID) float64 {
-	return t.vComp[trackKey(i, v)]
+	s := &t.slabs[i]
+	slot := s.slotOf(v)
+	if slot < 0 {
+		return 0
+	}
+	return s.comp[slot]
 }
 
 // CommAt evaluates gA for v as if its master were in fragment i — the
-// g_i(v) of MAssign's Eq. (5).
+// g_i(v) of MAssign's Eq. (5). Served from the slab's cached Vars
+// when v's copy is current (every Refresh rewrites it), falling back
+// to a full Extract otherwise.
 func (t *Tracker) CommAt(i int, v graph.VertexID) float64 {
+	s := &t.slabs[i]
+	if slot := s.slotOf(v); slot >= 0 && s.varsOK[slot] {
+		return t.m.G.Eval(s.vars[slot])
+	}
 	if !t.p.Fragment(i).Has(v) {
 		return 0
 	}
@@ -194,16 +340,14 @@ func (t *Tracker) CommAt(i int, v graph.VertexID) float64 {
 // fragment i with the given local degrees — the ChA(Fj ∪ {(v,E')})
 // probe of EMigrate/VMigrate, approximated by the moved vertex's own
 // contribution (neighbour second-order deltas are reconciled by the
-// next Refresh).
+// next Refresh). This is the delta entry point of the probe plane:
+// only the variables the probe actually perturbs are written over the
+// cached base vector; the graph-derived ones are not re-extracted.
 func (t *Tracker) HypotheticalComp(v graph.VertexID, localIn, localOut int, repl int, notECut bool) float64 {
-	g := t.p.Graph()
-	var x Vars
+	x := t.base[v]
 	x[DLIn] = float64(localIn)
 	x[DLOut] = float64(localOut)
-	x[DGIn] = float64(g.InDegree(v))
-	x[DGOut] = float64(g.OutDegree(v))
 	x[Repl] = float64(repl)
-	x[AvgDeg] = g.AvgDegree()
 	if notECut {
 		x[NotECut] = 1
 	}

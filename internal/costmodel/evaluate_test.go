@@ -130,34 +130,57 @@ func TestTrackerMatchesEvaluate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, algo := range Algos() {
-		m := Reference(algo)
-		tr := NewTracker(p.Clone(), m)
+	// storm drives an identical deterministic mutation sequence against
+	// the tracker, asserting agreement with the full evaluation before
+	// and after; it returns the final per-fragment state so variants of
+	// the same model can be compared bitwise.
+	storm := func(tr *Tracker, m CostModel, label string) ([]float64, []float64) {
 		q := tr2partition(tr)
-		// Initial agreement.
-		assertTrackerMatches(t, tr, q, m, algo.String()+" initial")
-		// Random mutation storm.
+		assertTrackerMatches(t, tr, q, m, label+" initial")
+		srng := rand.New(rand.NewSource(23))
 		edges := g.EdgeList()
 		for step := 0; step < 200; step++ {
-			e := edges[rng.Intn(len(edges))]
-			frag := rng.Intn(3)
-			switch rng.Intn(3) {
+			e := edges[srng.Intn(len(edges))]
+			frag := srng.Intn(3)
+			switch srng.Intn(3) {
 			case 0:
 				q.AddArc(frag, e.Src, e.Dst)
 			case 1:
 				q.RemoveArc(frag, e.Src, e.Dst)
 			case 2:
-				v := graph.VertexID(rng.Intn(g.NumVertices()))
+				v := graph.VertexID(srng.Intn(g.NumVertices()))
 				cs := q.Copies(v)
 				if len(cs) > 0 {
-					_ = q.SetMaster(v, int(cs[rng.Intn(len(cs))]))
+					_ = q.SetMaster(v, int(cs[srng.Intn(len(cs))]))
 					tr.Refresh(v)
 				}
 				continue
 			}
 			tr.Refresh(e.Src, e.Dst)
 		}
-		assertTrackerMatches(t, tr, q, m, algo.String()+" after mutations")
+		assertTrackerMatches(t, tr, q, m, label+" after mutations")
+		comp := make([]float64, q.NumFragments())
+		comm := make([]float64, q.NumFragments())
+		for i := range comp {
+			comp[i], comm[i] = tr.Comp(i), tr.Comm(i)
+		}
+		return comp, comm
+	}
+	for _, algo := range Algos() {
+		m := Reference(algo)
+		rawComp, rawComm := storm(NewTracker(p.Clone(), m), m, algo.String())
+		// A pre-compiled model must ride through the same storm to the
+		// bitwise-identical state: the dense tracker compiles internally,
+		// so handing it already-compiled kernels is a passthrough.
+		cm := CompileCostModel(m)
+		ccComp, ccComm := storm(NewTracker(p.Clone(), cm), cm, algo.String()+" compiled")
+		for i := range rawComp {
+			if math.Float64bits(rawComp[i]) != math.Float64bits(ccComp[i]) ||
+				math.Float64bits(rawComm[i]) != math.Float64bits(ccComm[i]) {
+				t.Fatalf("%v: compiled-model tracker diverged at fragment %d: comp %v vs %v, comm %v vs %v",
+					algo, i, rawComp[i], ccComp[i], rawComm[i], ccComm[i])
+			}
+		}
 	}
 }
 

@@ -171,6 +171,24 @@ func (f *Fragment) LocalIndex(v graph.VertexID) int {
 // LocalIndex). Only valid on a compiled fragment.
 func (f *Fragment) VertexAt(l int) graph.VertexID { return f.cf.Load().ids[l] }
 
+// LocalRemap returns a copy of the compiled local-id remap padded to
+// numVertices (-1 for vertices with no copy here) plus the number of
+// local slots, or (nil, 0) when the fragment carries no compiled form.
+// The cost tracker seeds its dense contribution slabs from it, so on a
+// compiled partition the slabs start compact instead of graph-wide.
+func (f *Fragment) LocalRemap(numVertices int) ([]int32, int) {
+	c := f.cf.Load()
+	if c == nil {
+		return nil, 0
+	}
+	remap := make([]int32, numVertices)
+	n := copy(remap, c.local)
+	for i := n; i < numVertices; i++ {
+		remap[i] = -1
+	}
+	return remap, len(c.ids)
+}
+
 // ArcIndex returns the compiled arc slot of (u,v) — the index the
 // engine's responsibility bitsets use — and whether the arc is stored
 // locally. Only valid on a compiled fragment.

@@ -419,11 +419,13 @@ func (p *Partition) SetOwner(v graph.VertexID, i int) { p.owner[v] = int32(i) }
 // Owner returns the preferred compute fragment of v, or -1.
 func (p *Partition) Owner(v graph.VertexID) int { return int(p.owner[v]) }
 
-// completeFragment returns the fragment whose copy of v is the e-cut
+// CompleteFragment returns the fragment whose copy of v is the e-cut
 // node: the designated owner if its copy is complete, otherwise the
 // lowest fragment id holding a complete copy; -1 if no copy is
-// complete.
-func (p *Partition) completeFragment(v graph.VertexID) int {
+// complete. Exported so the cost tracker can classify v once per
+// Refresh instead of once per fragment (Status recomputes it on every
+// call).
+func (p *Partition) CompleteFragment(v graph.VertexID) int {
 	if o := p.owner[v]; o >= 0 && p.IsComplete(int(o), v) {
 		return int(o)
 	}
@@ -440,7 +442,7 @@ func (p *Partition) Status(i int, v graph.VertexID) Status {
 	if !p.frags[i].Has(v) {
 		return Absent
 	}
-	cf := p.completeFragment(v)
+	cf := p.CompleteFragment(v)
 	switch {
 	case cf == i:
 		return ECutNode
@@ -453,4 +455,4 @@ func (p *Partition) Status(i int, v graph.VertexID) Status {
 
 // IsECut reports whether vertex v is e-cut: some fragment holds every
 // incident edge of v.
-func (p *Partition) IsECut(v graph.VertexID) bool { return p.completeFragment(v) >= 0 }
+func (p *Partition) IsECut(v graph.VertexID) bool { return p.CompleteFragment(v) >= 0 }

@@ -1,0 +1,49 @@
+// Package prof wires the standard runtime/pprof CPU and heap profiles
+// into the CLI binaries (adpart, adbench), so refinement and engine
+// hot paths can be profiled end to end without a test harness.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling when cpuPath is non-empty and returns a
+// stop function that finishes the CPU profile and, when memPath is
+// non-empty, captures a heap profile after a final GC. The stop
+// function is safe to call once on any exit path; note that os.Exit
+// bypasses deferred calls, so error paths that must still produce
+// profiles should call it explicitly.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+				return
+			}
+			runtime.GC() // materialise final live-heap state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+			}
+			f.Close()
+		}
+	}, nil
+}

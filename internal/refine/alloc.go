@@ -1,0 +1,58 @@
+package refine
+
+import (
+	"context"
+	"testing"
+
+	"adp/internal/costmodel"
+	"adp/internal/gen"
+	"adp/internal/partitioner"
+	"adp/internal/pool"
+)
+
+// ProbeLoopAllocs measures the heap allocations of the migrate
+// superstep loop on warmed scratch: a deterministic EMigrate workload
+// whose probes all reject (so only the probe plane runs — batching,
+// routing, concurrent probes, ordered carry-over) is driven repeatedly
+// through parallelMigrateCtx with a shared migrateScratch, and the
+// marginal allocations per full run are returned via
+// testing.AllocsPerRun. Each run spans several supersteps, so 0 here
+// bounds the per-superstep count at 0 — the figure adbench reports as
+// probe_superstep_allocs. Measured on the serial pool, like the
+// engine's step-loop allocation lock: the worker handoff of larger
+// pools is the pool package's own concern.
+func ProbeLoopAllocs() float64 {
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 600, AvgDeg: 6, Exponent: 2.2, Directed: true, Seed: 11})
+	m := costmodel.CostModel{
+		H: &costmodel.Model{
+			Terms:   costmodel.PolyTerms([]costmodel.VarKind{costmodel.DLIn, costmodel.DGIn}, 2),
+			Weights: []float64{1.02e-6, 3e-8, 1.04e-6, 2e-9, 9.23e-5, 5e-9},
+		},
+		G: &costmodel.Model{
+			Terms:   costmodel.PolyTerms([]costmodel.VarKind{costmodel.Repl}, 1),
+			Weights: []float64{1.1e-4, 6.6e-4},
+		},
+	}
+	ec, err := partitioner.FennelEdgeCut(g, 4, partitioner.FennelConfig{})
+	if err != nil {
+		return -1
+	}
+	tr := costmodel.NewTracker(ec, m)
+	candidates := getCandidates(tr, 0, 0, true)
+	if len(candidates) == 0 {
+		return -1
+	}
+	under := []int{1, 2, 3}
+	pl := pool.Serial()
+	sc := &migrateScratch{}
+	stats := &Stats{}
+	ctx := context.Background()
+	run := func() {
+		// Budget -1 rejects every probe: nothing is applied, the
+		// partition and tracker stay untouched, and every superstep
+		// buffer is reused from sc.
+		_, _ = parallelMigrateCtx(ctx, pl, tr, candidates, under, -1, 64, eMigrateProbe, eMigrateApply, stats, sc)
+	}
+	run() // warm the scratch
+	return testing.AllocsPerRun(20, run)
+}

@@ -1,0 +1,13 @@
+package refine
+
+import "testing"
+
+// TestProbeLoopAllocFree locks the flattened probe plane: on warmed
+// scratch a full parallelMigrate run (several supersteps of batching,
+// routing, probing and ordered carry-over) performs zero heap
+// allocations.
+func TestProbeLoopAllocFree(t *testing.T) {
+	if a := ProbeLoopAllocs(); a != 0 {
+		t.Fatalf("probe superstep loop: %v allocs/run on warmed scratch, want 0", a)
+	}
+}

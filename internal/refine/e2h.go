@@ -36,9 +36,10 @@ func E2HCtx(ctx context.Context, p *partition.Partition, m costmodel.CostModel, 
 	stats.Budget = budget
 
 	over, under := classify(tr, budget)
+	var bs bfsScratch
 	var candidates []candidate
 	for _, i := range over {
-		candidates = append(candidates, getCandidates(tr, i, budget, !cfg.ArbitraryCandidates)...)
+		candidates = append(candidates, getCandidatesScratch(tr, i, budget, !cfg.ArbitraryCandidates, &bs)...)
 	}
 
 	// Phase 1: EMigrate (lines 6-10).
@@ -46,7 +47,7 @@ func E2HCtx(ctx context.Context, p *partition.Partition, m costmodel.CostModel, 
 	var leftover []candidate
 	var err error
 	if cfg.Parallel {
-		leftover, err = parallelMigrateCtx(ctx, cfg.Pool, tr, candidates, under, budget, cfg.BatchSize, eMigrateProbe, eMigrateApply, stats)
+		leftover, err = parallelMigrateCtx(ctx, cfg.Pool, tr, candidates, under, budget, cfg.BatchSize, eMigrateProbe, eMigrateApply, stats, &migrateScratch{})
 	} else {
 		for _, c := range candidates {
 			if err = ctxErr(ctx); err != nil {

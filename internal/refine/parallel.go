@@ -2,7 +2,6 @@ package refine
 
 import (
 	"context"
-	"sort"
 
 	"adp/internal/costmodel"
 	"adp/internal/pool"
@@ -15,6 +14,53 @@ type probeFunc func(tr *costmodel.Tracker, c candidate, j int, budget float64) b
 // applyFunc performs an accepted migration.
 type applyFunc func(tr *costmodel.Tracker, c candidate, j int, stats *Stats)
 
+// pending is a candidate in flight through the migrate supersteps with
+// its destination-attempt counter.
+type pending struct {
+	c     candidate
+	tries int
+}
+
+// migrateScratch holds every buffer the migrate superstep loop needs,
+// allocated once per phase and reused across supersteps so the loop
+// itself performs no heap allocation (ProbeLoopAllocs locks this). The
+// probe pass only writes per-candidate verdict slots, so the scratch
+// is owned by the coordinating goroutine and the determinism contract
+// — identical Stats for any pool size — is untouched.
+type migrateScratch struct {
+	queue, rest []pending // double-buffered carry-over queues
+	batch       []pending
+	dest        []int
+	verdict     []bool
+	order       []int
+	batchBudget []int // per-source-fragment budget, reset each superstep
+	leftover    []candidate
+
+	// probeChunk is the chunk function handed to pool.RunChunks; it
+	// lives in the scratch (capturing only sc) so neither the superstep
+	// loop nor a repeat call on warm scratch allocates a closure —
+	// Pool.Run would wrap the per-index function in a fresh chunk
+	// closure every superstep. The per-call inputs it reads are
+	// re-bound below.
+	probeChunk func(lo, hi int)
+	tr         *costmodel.Tracker
+	probe      probeFunc
+	budget     float64
+}
+
+// grow readies the per-candidate buffers for n in-flight candidates;
+// allocation happens only while a buffer is still cold.
+func (s *migrateScratch) grow(n int) {
+	if cap(s.batch) < n {
+		s.batch = make([]pending, 0, n)
+		s.rest = make([]pending, 0, n)
+		s.dest = make([]int, 0, n)
+		s.verdict = make([]bool, 0, n)
+		s.order = make([]int, 0, n)
+		s.leftover = make([]candidate, 0, n)
+	}
+}
+
 // parallelMigrate is the Section-5.3 BSP schedule for the migrate
 // phases: in each superstep every overloaded fragment offers a batch
 // of candidates round-robin to the underloaded workers; destinations
@@ -26,73 +72,115 @@ type applyFunc func(tr *costmodel.Tracker, c candidate, j int, stats *Stats)
 // rejected everywhere are returned for ESplit/VMerge.
 func parallelMigrate(pl *pool.Pool, tr *costmodel.Tracker, candidates []candidate, under []int, budget float64,
 	batchSize int, probe probeFunc, apply applyFunc, stats *Stats) []candidate {
-	leftover, _ := parallelMigrateCtx(context.Background(), pl, tr, candidates, under, budget, batchSize, probe, apply, stats)
+	leftover, _ := parallelMigrateCtx(context.Background(), pl, tr, candidates, under, budget, batchSize, probe, apply, stats, nil)
 	return leftover
 }
 
 // parallelMigrateCtx is parallelMigrate with cancellation observed at
 // superstep boundaries: the supersteps already applied stand, the
 // unprocessed queue is abandoned, and the ctx error is returned with
-// the leftovers accumulated so far.
+// the leftovers accumulated so far. sc supplies the superstep scratch
+// (nil allocates a private one); the returned leftover slice aliases
+// it, so callers must consume the leftovers before reusing sc.
 func parallelMigrateCtx(ctx context.Context, pl *pool.Pool, tr *costmodel.Tracker, candidates []candidate, under []int, budget float64,
-	batchSize int, probe probeFunc, apply applyFunc, stats *Stats) ([]candidate, error) {
+	batchSize int, probe probeFunc, apply applyFunc, stats *Stats, sc *migrateScratch) ([]candidate, error) {
 
 	if len(under) == 0 {
 		return candidates, nil
 	}
-	type pending struct {
-		c     candidate
-		tries int
+	if sc == nil {
+		sc = &migrateScratch{}
 	}
-	queue := make([]pending, 0, len(candidates))
+	sc.grow(len(candidates))
+	maxFrag := 0
+	for _, c := range candidates {
+		if c.frag >= maxFrag {
+			maxFrag = c.frag + 1
+		}
+	}
+	if cap(sc.batchBudget) < maxFrag {
+		sc.batchBudget = make([]int, maxFrag)
+	}
+	sc.batchBudget = sc.batchBudget[:maxFrag]
+
+	queue := sc.queue[:0]
+	if cap(queue) < len(candidates) {
+		queue = make([]pending, 0, len(candidates))
+	}
 	for _, c := range candidates {
 		queue = append(queue, pending{c: c})
 	}
-	var leftover []candidate
+	rest := sc.rest[:0]
+	leftover := sc.leftover[:0]
+
+	sc.tr, sc.probe, sc.budget = tr, probe, budget
+	if sc.probeChunk == nil {
+		sc.probeChunk = func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				sc.verdict[k] = sc.probe(sc.tr, sc.batch[k].c, sc.dest[k], sc.budget)
+			}
+		}
+	}
+
 	for len(queue) > 0 {
 		if err := ctxErr(ctx); err != nil {
+			sc.queue, sc.rest, sc.leftover = queue, rest, leftover
 			return leftover, err
 		}
 		// Each superstep moves at most batchSize candidates per
 		// overloaded fragment.
-		batchBudget := map[int]int{}
-		batch := queue[:0:0]
-		var rest []pending
+		for i := range sc.batchBudget {
+			sc.batchBudget[i] = 0
+		}
+		sc.batch = sc.batch[:0]
+		rest = rest[:0]
 		for _, pd := range queue {
-			if batchBudget[pd.c.frag] < batchSize {
-				batchBudget[pd.c.frag]++
-				batch = append(batch, pd)
+			if sc.batchBudget[pd.c.frag] < batchSize {
+				sc.batchBudget[pd.c.frag]++
+				sc.batch = append(sc.batch, pd)
 			} else {
 				rest = append(rest, pd)
 			}
 		}
 		// Route each batched candidate to its round-robin destination.
-		dest := make([]int, len(batch))
-		for k, pd := range batch {
+		sc.dest = sc.dest[:0]
+		for k, pd := range sc.batch {
 			j := under[pd.tries%len(under)]
 			if j == pd.c.frag {
 				pd.tries++
-				batch[k] = pd
+				sc.batch[k] = pd
 				j = under[pd.tries%len(under)]
 			}
-			dest[k] = j
+			sc.dest = append(sc.dest, j)
 		}
 		// Concurrent probe pass against the superstep-start state.
-		verdict := make([]bool, len(batch))
-		pl.Run(len(batch), func(k int) {
-			verdict[k] = probe(tr, batch[k].c, dest[k], budget)
-		})
-		// Apply at the barrier, destination by destination in order,
-		// re-checking so that earlier acceptances are respected.
-		order := make([]int, len(batch))
-		for k := range order {
-			order[k] = k
+		sc.verdict = sc.verdict[:len(sc.batch)]
+		for k := range sc.verdict {
+			sc.verdict[k] = false
 		}
-		sort.SliceStable(order, func(a, b int) bool { return dest[order[a]] < dest[order[b]] })
-		for _, k := range order {
-			pd := batch[k]
-			if verdict[k] && probe(tr, pd.c, dest[k], budget) {
-				apply(tr, pd.c, dest[k], stats)
+		pl.RunChunks(len(sc.batch), 0, sc.probeChunk)
+		// Apply at the barrier, destination by destination in order,
+		// re-checking so that earlier acceptances are respected. The
+		// ordering is a stable insertion sort on the destination ids —
+		// the same permutation sort.SliceStable produced, without its
+		// closure and reflection allocations.
+		sc.order = sc.order[:len(sc.batch)]
+		for k := range sc.order {
+			sc.order[k] = k
+		}
+		for a := 1; a < len(sc.order); a++ {
+			k := sc.order[a]
+			b := a
+			for b > 0 && sc.dest[sc.order[b-1]] > sc.dest[k] {
+				sc.order[b] = sc.order[b-1]
+				b--
+			}
+			sc.order[b] = k
+		}
+		for _, k := range sc.order {
+			pd := sc.batch[k]
+			if sc.verdict[k] && probe(tr, pd.c, sc.dest[k], budget) {
+				apply(tr, pd.c, sc.dest[k], stats)
 				continue
 			}
 			pd.tries++
@@ -102,7 +190,8 @@ func parallelMigrateCtx(ctx context.Context, pl *pool.Pool, tr *costmodel.Tracke
 				rest = append(rest, pd)
 			}
 		}
-		queue = rest
+		queue, rest = rest, queue
 	}
+	sc.queue, sc.rest, sc.leftover = queue, rest, leftover
 	return leftover, nil
 }

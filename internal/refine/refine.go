@@ -90,12 +90,37 @@ type candidate struct {
 	v    graph.VertexID
 }
 
+// bfsScratch holds the BFS frontier buffers of getCandidates, reused
+// across fragments (and refiner phases) so candidate gathering does
+// not rebuild its visited set and queues per call. seen is graph-wide
+// and cleared through the visit queue, so reuse is O(visited), not
+// O(|V|).
+type bfsScratch struct {
+	seen  []bool
+	queue []graph.VertexID
+	nbrs  vidSorter
+}
+
+// vidSorter sorts a vertex-id slice through a persistent
+// sort.Interface value, avoiding the per-call closure and reflection
+// allocations of sort.Slice.
+type vidSorter struct{ s []graph.VertexID }
+
+func (x *vidSorter) Len() int           { return len(x.s) }
+func (x *vidSorter) Less(a, b int) bool { return x.s[a] < x.s[b] }
+func (x *vidSorter) Swap(a, b int)      { x.s[a], x.s[b] = x.s[b], x.s[a] }
+
 // getCandidates implements procedure GetCandidates (Fig. 3): a BFS
 // traversal over the fragment's non-dummy nodes greedily retains a
 // coherent sub-fragment within budget B; everything else is returned
 // as migration candidates in BFS order. With bfs=false the traversal
 // degrades to plain id order (the locality ablation).
 func getCandidates(tr *costmodel.Tracker, i int, budget float64, bfs bool) []candidate {
+	return getCandidatesScratch(tr, i, budget, bfs, &bfsScratch{})
+}
+
+// getCandidatesScratch is getCandidates on caller-owned scratch.
+func getCandidatesScratch(tr *costmodel.Tracker, i int, budget float64, bfs bool, sc *bfsScratch) []candidate {
 	p := tr.Partition()
 	f := p.Fragment(i)
 	ids := f.SortedVertices()
@@ -105,39 +130,47 @@ func getCandidates(tr *costmodel.Tracker, i int, budget float64, bfs bool) []can
 	order := ids
 	if bfs {
 		// BFS over the fragment-local adjacency, exhaustive and
-		// rooted at the smallest vertex id for determinism.
-		seen := make(map[graph.VertexID]bool, len(ids))
-		order = make([]graph.VertexID, 0, len(ids))
-		queue := make([]graph.VertexID, 0, len(ids))
-		enqueue := func(v graph.VertexID) {
-			if !seen[v] {
-				seen[v] = true
-				queue = append(queue, v)
-			}
+		// rooted at the smallest vertex id for determinism. The visit
+		// queue doubles as the order: vertices are appended exactly
+		// once, in visit order, and the head index walks behind.
+		if len(sc.seen) < p.Graph().NumVertices() {
+			sc.seen = make([]bool, p.Graph().NumVertices())
+		}
+		queue := sc.queue[:0]
+		if cap(queue) < len(ids) {
+			queue = make([]graph.VertexID, 0, len(ids))
 		}
 		for _, root := range ids {
-			if seen[root] {
+			if sc.seen[root] {
 				continue
 			}
-			enqueue(root)
-			for head := len(order); head < len(queue); head++ {
+			sc.seen[root] = true
+			queue = append(queue, root)
+			for head := len(queue) - 1; head < len(queue); head++ {
 				v := queue[head]
-				order = append(order, v)
 				adj := f.Adjacency(v)
 				if adj == nil {
 					continue
 				}
 				// Deterministic neighbour order.
-				nbrs := append([]graph.VertexID(nil), adj.Out...)
+				nbrs := sc.nbrs.s[:0]
+				nbrs = append(nbrs, adj.Out...)
 				nbrs = append(nbrs, adj.In...)
-				sort.Slice(nbrs, func(a, b int) bool { return nbrs[a] < nbrs[b] })
-				for _, w := range nbrs {
-					if f.Has(w) {
-						enqueue(w)
+				sc.nbrs.s = nbrs
+				sort.Sort(&sc.nbrs)
+				for _, w := range sc.nbrs.s {
+					if !sc.seen[w] && f.Has(w) {
+						sc.seen[w] = true
+						queue = append(queue, w)
 					}
 				}
 			}
 		}
+		order = queue
+		for _, v := range queue {
+			sc.seen[v] = false
+		}
+		sc.queue = queue
 	}
 	kept := 0.0
 	var out []candidate
@@ -257,13 +290,9 @@ func moveSingleArc(p *partition.Partition, i, t int, u, w graph.VertexID, subjec
 	return []graph.VertexID{u, w}
 }
 
-// refreshAll refreshes the tracker for a touched-vertex set.
+// refreshAll refreshes the tracker for a touched-vertex set, each
+// distinct vertex once in first-occurrence order (the tracker's
+// allocation-free stamp dedup).
 func refreshAll(tr *costmodel.Tracker, touched []graph.VertexID) {
-	seen := map[graph.VertexID]bool{}
-	for _, v := range touched {
-		if !seen[v] {
-			seen[v] = true
-			tr.Refresh(v)
-		}
-	}
+	tr.RefreshSet(touched)
 }

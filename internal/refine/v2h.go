@@ -33,9 +33,10 @@ func V2HCtx(ctx context.Context, p *partition.Partition, m costmodel.CostModel, 
 	stats.Budget = budget
 
 	over, under := classify(tr, budget)
+	var bs bfsScratch
 	var candidates []candidate
 	for _, i := range over {
-		candidates = append(candidates, getCandidates(tr, i, budget, !cfg.ArbitraryCandidates)...)
+		candidates = append(candidates, getCandidatesScratch(tr, i, budget, !cfg.ArbitraryCandidates, &bs)...)
 	}
 
 	// Phase 1: VMigrate (lines 6-10) — a candidate may only move onto
@@ -44,7 +45,7 @@ func V2HCtx(ctx context.Context, p *partition.Partition, m costmodel.CostModel, 
 	t0 := time.Now()
 	var err error
 	if cfg.Parallel {
-		_, err = parallelMigrateCtx(ctx, cfg.Pool, tr, candidates, under, budget, cfg.BatchSize, vMigrateProbe, vMigrateApply, stats)
+		_, err = parallelMigrateCtx(ctx, cfg.Pool, tr, candidates, under, budget, cfg.BatchSize, vMigrateProbe, vMigrateApply, stats, &migrateScratch{})
 	} else {
 		for _, c := range candidates {
 			if err = ctxErr(ctx); err != nil {

@@ -6,9 +6,15 @@
 //
 //	adpart -graph twitter -n 8 -base Fennel -algo CN
 //	adpart -graph path/to/edges.txt -n 4 -base Grid -algo batch
+//	adpart -algo batch -store state/ -updates stream.txt
+//	adpart -fsck state/ [-repair]
 //
 // The graph is either a named synthetic stand-in (social, twitter,
 // web, road) or a path to an edge-list file (see internal/graph).
+// -updates applies an edge-update stream ("+ u v [dests]", "- u v",
+// "commit" — the WAL record grammar spelled out); -store keeps the
+// batch composite in a crash-consistent on-disk store; -fsck checks a
+// store directory frame by frame and -repair truncates damage away.
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"adp/internal/pool"
 	"adp/internal/prof"
 	"adp/internal/refine"
+	"adp/internal/store"
 )
 
 func main() {
@@ -47,8 +54,27 @@ func main() {
 		faultSpec = flag.String("faults", "", `fault schedule for the simulated run: grammar spec ("crash@1:w0,drop@2:d1#0") or "rand:N"`)
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this path on exit")
+		updates   = flag.String("updates", "", "apply an edge-update stream from this file ('+ u v [dests]', '- u v', 'commit')")
+		storeDir  = flag.String("store", "", "with -algo batch: keep the composite in a crash-consistent store at this directory")
+		fsckDir   = flag.String("fsck", "", "check the store at this directory and exit (0 healthy, 1 damaged)")
+		repair    = flag.Bool("repair", false, "with -fsck: truncate damaged or un-acked log tails in place")
 	)
 	flag.Parse()
+	if *fsckDir != "" {
+		// Deep snapshot verification needs the graph the store was built
+		// over; only use one the caller named explicitly.
+		graphSet := false
+		flag.Visit(func(f *flag.Flag) { graphSet = graphSet || f.Name == "graph" })
+		rep, err := runFsck(*fsckDir, *repair, *graphName, *symmetric, graphSet)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Format(os.Stdout)
+		if !rep.Healthy() {
+			os.Exit(1)
+		}
+		return
+	}
 	if *workers != 0 {
 		pool.SetDefaultWorkers(*workers)
 	}
@@ -86,8 +112,15 @@ func main() {
 	}
 	fmt.Printf("baseline %s (%s) in %v: %s\n", spec.Name, spec.Family, time.Since(start).Round(time.Millisecond), metricsLine(base))
 
+	var muts []store.Mutation
+	if *updates != "" {
+		muts, err = loadUpdates(*updates)
+		if err != nil {
+			fatal(err)
+		}
+	}
 	if strings.EqualFold(*algoName, "batch") {
-		runBatch(base, spec)
+		runBatch(base, spec, muts, *storeDir)
 		return
 	}
 	algo, err := parseAlgo(*algoName)
@@ -115,6 +148,23 @@ func main() {
 	if err := refined.Validate(); err != nil {
 		fatal(fmt.Errorf("refined partition failed validation: %w", err))
 	}
+	if len(muts) > 0 {
+		// Incremental maintenance (refine.ApplyUpdates): carry the
+		// refined placement over to the updated graph and rebalance.
+		ins, del := store.SplitEdges(muts)
+		start = time.Now()
+		updated, ustats, err := refine.ApplyUpdates(refined, model, ins, del, refine.Config{})
+		if err != nil {
+			fatal(fmt.Errorf("applying updates: %w", err))
+		}
+		fmt.Printf("  updates (+%d -%d) in %v: carried=%d routed=%d dropped=%d migrated=%d mastersMoved=%d\n",
+			len(ins), len(del), time.Since(start).Round(time.Millisecond),
+			ustats.CarriedArcs, ustats.RoutedArcs, ustats.DroppedArcs,
+			ustats.Migrated, ustats.MastersMoved)
+		upd := costmodel.Evaluate(updated, model)
+		fmt.Printf("  updated metrics: %s, parallel cost %.4g\n", metricsLine(updated), costmodel.ParallelCost(upd))
+		refined = updated
+	}
 	// Simulate the target algorithm over the refined partition — with
 	// -faults this exercises checkpoint/recovery, and the reported cost
 	// is identical to the fault-free run by the determinism contract.
@@ -141,7 +191,7 @@ func main() {
 	}
 }
 
-func runBatch(base *partition.Partition, spec partitioner.Spec) {
+func runBatch(base *partition.Partition, spec partitioner.Spec, muts []store.Mutation, storeDir string) {
 	models := make([]costmodel.CostModel, 0, 5)
 	for _, a := range costmodel.Algos() {
 		models = append(models, costmodel.Reference(a))
@@ -161,6 +211,46 @@ func runBatch(base *partition.Partition, spec partitioner.Spec) {
 		fatal(err)
 	}
 	fmt.Printf("composite for %v in %v\n", costmodel.Algos(), time.Since(start).Round(time.Millisecond))
+
+	if storeDir != "" {
+		// Durable mode: the composite lives in the crash-consistent
+		// store, and updates flow through its WAL. A directory that
+		// already holds a store is recovered instead of recreated.
+		st, err := store.Create(storeDir, comp, store.Options{})
+		if err != nil {
+			var info *store.RecoveryInfo
+			st, info, err = store.Open(storeDir, base.Graph(), store.Options{})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  store: %v\n", info)
+			comp = st.Composite()
+		} else {
+			fmt.Printf("  store: created at %s (snapshot lsn=0)\n", storeDir)
+		}
+		if len(muts) > 0 {
+			ins, del, err := st.Apply(muts)
+			if err != nil {
+				fatal(fmt.Errorf("applying updates through store: %w", err))
+			}
+			fmt.Printf("  updates: +%d -%d committed durably (lsn=%d)\n", ins, del, st.LSN())
+		}
+		if err := st.Snapshot(); err != nil {
+			fatal(err)
+		}
+		if err := st.Close(); err != nil {
+			fatal(err)
+		}
+	} else if len(muts) > 0 {
+		ins, del, err := applyCompositeUpdates(comp, muts)
+		if err != nil {
+			fatal(fmt.Errorf("applying updates: %w", err))
+		}
+		if err := comp.ValidateIndex(); err != nil {
+			fatal(fmt.Errorf("composite index invalid after updates: %w", err))
+		}
+		fmt.Printf("  updates: +%d -%d applied coherently\n", ins, del)
+	}
 	fmt.Printf("  fc=%.2f composite=%d arcs, separate=%d arcs (%.0f%% saved)\n",
 		comp.FC(), comp.StorageArcs(), comp.SeparateStorageArcs(),
 		(1-float64(comp.StorageArcs())/float64(comp.SeparateStorageArcs()))*100)
@@ -169,6 +259,54 @@ func runBatch(base *partition.Partition, spec partitioner.Spec) {
 		fmt.Printf("  %-4v parallel cost %.4g, λ=%.2f\n", a,
 			costmodel.ParallelCost(costs), costmodel.LambdaCost(costs))
 	}
+}
+
+// applyCompositeUpdates drives an update stream through the coherent
+// in-memory composite path: every bundled partition sees every edge
+// change, with locality routing standing in for absent destinations.
+func applyCompositeUpdates(c *composite.Composite, muts []store.Mutation) (inserts, deletes int, err error) {
+	for i, m := range muts {
+		switch m.Kind {
+		case store.MutInsert:
+			dest := m.Dest
+			if len(dest) == 0 {
+				dest = store.RouteDest(c, m.U, m.V)
+			}
+			if err := c.InsertEdge(m.U, m.V, dest); err != nil {
+				return inserts, deletes, fmt.Errorf("mutation %d: %w", i, err)
+			}
+			inserts++
+		case store.MutDelete:
+			if c.DeleteEdge(m.U, m.V) {
+				deletes++
+			}
+		}
+	}
+	return inserts, deletes, nil
+}
+
+func loadUpdates(path string) ([]store.Mutation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return store.ParseUpdates(f)
+}
+
+// runFsck classifies the store at dir. With deep set the graph is
+// loaded and snapshots are fully parsed and index-validated; otherwise
+// only frame-level WAL integrity and snapshot readability are checked.
+func runFsck(dir string, repair bool, graphName string, symmetric, deep bool) (*store.FsckReport, error) {
+	var g *graph.Graph
+	if deep {
+		var err error
+		g, err = loadGraph(graphName, symmetric)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return store.Fsck(dir, g, repair)
 }
 
 func loadGraph(name string, symmetric bool) (*graph.Graph, error) {

@@ -5,7 +5,11 @@ import (
 	"path/filepath"
 	"testing"
 
+	"adp/internal/composite"
 	"adp/internal/costmodel"
+	"adp/internal/partition"
+	"adp/internal/partitioner"
+	"adp/internal/store"
 )
 
 func TestParseAlgo(t *testing.T) {
@@ -64,5 +68,149 @@ func TestLoadGraphFromFile(t *testing.T) {
 	}
 	if _, err := loadGraph(filepath.Join(dir, "missing.txt"), false); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadUpdates(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stream.txt")
+	if err := os.WriteFile(path, []byte("# demo\n+ 0 5\n- 1 2\ncommit\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	muts, err := loadUpdates(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(muts) != 3 || muts[0].Kind != store.MutInsert || muts[2].Kind != store.MutCommit {
+		t.Fatalf("parsed %v", muts)
+	}
+	if _, err := loadUpdates(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("frobnicate 1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadUpdates(bad); err == nil {
+		t.Fatal("bad grammar accepted")
+	}
+}
+
+// testBatchComposite bundles two partitions of the small social graph.
+func testBatchComposite(t *testing.T) *composite.Composite {
+	t.Helper()
+	g, err := loadGraph("social", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := partitioner.HashEdgeCut(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := make([]int, g.NumVertices())
+	for v := range assign {
+		assign[v] = (v + 1) % 3
+	}
+	p2, err := partition.FromVertexAssignment(g, assign, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := composite.New(g, []*partition.Partition{p1, p2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestApplyCompositeUpdates(t *testing.T) {
+	c := testBatchComposite(t)
+	muts := []store.Mutation{
+		{Kind: store.MutInsert, U: 0, V: 7, Dest: []int{1, 2}},
+		{Kind: store.MutInsert, U: 0, V: 9}, // nil dest: locality routed
+		{Kind: store.MutCommit},
+		{Kind: store.MutDelete, U: 0, V: 7},
+	}
+	ins, del, err := applyCompositeUpdates(c, muts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins != 2 || del != 1 {
+		t.Fatalf("applied +%d -%d, want +2 -1", ins, del)
+	}
+	if err := c.ValidateIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, present := c.Locate(0, 0, 7); present {
+		t.Fatal("deleted edge still present")
+	}
+	if _, _, present := c.Locate(0, 0, 9); !present {
+		t.Fatal("routed insert missing")
+	}
+}
+
+func TestRunFsckEndToEnd(t *testing.T) {
+	c := testBatchComposite(t)
+	dir := filepath.Join(t.TempDir(), "state")
+	s, err := store.Create(dir, c, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	muts := []store.Mutation{
+		{Kind: store.MutInsert, U: 0, V: 7, Dest: []int{1, 2}},
+		{Kind: store.MutCommit},
+		{Kind: store.MutDelete, U: 0, V: 7},
+		{Kind: store.MutCommit},
+	}
+	if _, _, err := s.Apply(muts); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := runFsck(dir, false, "", false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy() {
+		t.Fatal("clean store reported damaged")
+	}
+
+	// Chop the log mid-frame: shallow fsck must flag it, repair must
+	// truncate it, and the store must reopen cleanly afterwards.
+	var walPath string
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".log" {
+			walPath = filepath.Join(dir, e.Name())
+		}
+	}
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err = runFsck(dir, false, "", false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Healthy() {
+		t.Fatal("torn log reported healthy")
+	}
+	if _, err := runFsck(dir, true, "", false, false); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = runFsck(dir, false, "social", false, true) // deep re-check
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy() {
+		t.Fatal("store still damaged after repair")
 	}
 }

@@ -4,10 +4,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
 	"adp/internal/algorithms"
+	"adp/internal/composite"
 	"adp/internal/costmodel"
 	"adp/internal/engine"
 	"adp/internal/gen"
@@ -16,6 +19,7 @@ import (
 	"adp/internal/partitioner"
 	"adp/internal/pool"
 	"adp/internal/refine"
+	"adp/internal/store"
 )
 
 // PerfResult is one benchmark measurement in machine-readable form.
@@ -259,6 +263,14 @@ func Perf() (*PerfReport, error) {
 		}
 	}))
 
+	// Durability plane: the per-mutation cost of the store's logging
+	// path and the cost of recovering a recorded run. Both run on a
+	// throwaway directory; wal_append batches 64 commits per fsync so it
+	// measures framing + write, not raw fsync latency.
+	if err := addStoreSeries(rep, add, g); err != nil {
+		return nil, err
+	}
+
 	// Probe-plane allocation check: marginal allocations of one
 	// parallelMigrate superstep on warmed per-run scratch (the
 	// zero-allocation probe plane contract).
@@ -284,6 +296,121 @@ func Perf() (*PerfReport, error) {
 		rep.SteadyStateAllocsPerSuperstep = d / 56 // 2 supersteps per extra PR iteration
 	}
 	return rep, nil
+}
+
+// addStoreSeries measures the durable-store hot paths: wal_append (one
+// coherent mutation logged and committed through a two-partition
+// composite store) and store_recover (Open replaying a recorded
+// 500-mutation log onto its snapshot).
+func addStoreSeries(rep *PerfReport, add func(string, testing.BenchmarkResult), g *graph.Graph) error {
+	buildComposite := func() (*composite.Composite, error) {
+		p1, err := partitioner.HashEdgeCut(g, 8)
+		if err != nil {
+			return nil, err
+		}
+		assign := make([]int, g.NumVertices())
+		for v := range assign {
+			assign[v] = (v + 1) % 8
+		}
+		p2, err := partition.FromVertexAssignment(g, assign, 8)
+		if err != nil {
+			return nil, err
+		}
+		return composite.New(g, []*partition.Partition{p1, p2})
+	}
+	nv := uint32(g.NumVertices())
+	// Deterministic fresh-edge stream: a multiplicative stride walks
+	// vertex pairs; collisions with live edges flip to deletes so the
+	// store never grows without bound.
+	edgeAt := func(i int) (graph.VertexID, graph.VertexID) {
+		u := uint32(i*2654435761) % nv
+		v := (u + 1 + uint32(i*40503)%(nv-1)) % nv
+		return graph.VertexID(u), graph.VertexID(v)
+	}
+
+	// wal_append: one mutation + commit per op, fsync every 64 commits.
+	comp, err := buildComposite()
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "adp-bench-store-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	s, err := store.Create(filepath.Join(dir, "append"), comp, store.Options{SyncEvery: 64})
+	if err != nil {
+		return err
+	}
+	dest := []int{0, 1}
+	live := map[uint64]bool{}
+	step := 0
+	add("wal_append", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			u, v := edgeAt(step)
+			step++
+			key := uint64(u)<<32 | uint64(v)
+			var err error
+			if live[key] {
+				delete(live, key)
+				_, err = s.Delete(u, v)
+			} else {
+				live[key] = true
+				err = s.Insert(u, v, dest)
+			}
+			if err == nil {
+				err = s.Commit()
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	if err := s.Close(); err != nil {
+		return err
+	}
+
+	// store_recover: replay a recorded 500-mutation run. The recording
+	// happens off-clock; each Open re-reads the snapshot and replays the
+	// full committed log.
+	comp, err = buildComposite()
+	if err != nil {
+		return err
+	}
+	recDir := filepath.Join(dir, "recover")
+	s, err = store.Create(recDir, comp, store.Options{SyncEvery: 64})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 500; i++ {
+		u, v := edgeAt(i + 1<<20)
+		if err := s.Insert(u, v, dest); err != nil {
+			return err
+		}
+		if err := s.Commit(); err != nil {
+			return err
+		}
+	}
+	if err := s.Close(); err != nil {
+		return err
+	}
+	add("store_recover", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, info, err := store.Open(recDir, g, store.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if info.Replayed == 0 {
+				b.Fatal("nothing replayed")
+			}
+			if err := s.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	return nil
 }
 
 // baselineFor returns the pinned baseline with the given name, nil

@@ -1,0 +1,135 @@
+package composite
+
+import (
+	"math/rand"
+	"testing"
+
+	"adp/internal/graph"
+	"adp/internal/partition"
+	"adp/internal/partitioner"
+)
+
+// The composite's contract is coherence: however inserts and deletes
+// interleave, all k bundled partitions describe the same edge set and
+// the arc index stays exact. This property test drives a long seeded
+// random interleaving — including deliberate no-op deletes and repeat
+// inserts — and re-checks both invariants after every single step.
+
+// arcSet collects the distinct arcs a partition stores (union over
+// fragments, replicas deduplicated).
+func arcSet(p *partition.Partition) map[uint64]bool {
+	set := map[uint64]bool{}
+	for i := 0; i < p.NumFragments(); i++ {
+		p.Fragment(i).Vertices(func(v graph.VertexID, adj *partition.Adj) {
+			for _, w := range adj.Out {
+				set[uint64(v)<<32|uint64(w)] = true
+			}
+		})
+	}
+	return set
+}
+
+func TestCoherenceUnderRandomInterleavings(t *testing.T) {
+	g := testGraph()
+	p1, err := partitioner.HashEdgeCut(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := make([]int, g.NumVertices())
+	for v := range assign {
+		assign[v] = (v + 2) % 3
+	}
+	p2, err := partition.FromVertexAssignment(g, assign, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(g, []*partition.Partition{p1, p2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	steps := 400
+	if testing.Short() {
+		steps = 120
+	}
+	rng := rand.New(rand.NewSource(97))
+	live := arcSet(c.Partition(0))
+	var liveList []uint64
+	for k := range live {
+		liveList = append(liveList, k)
+	}
+	nv := uint32(g.NumVertices())
+
+	for step := 0; step < steps; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // insert a fresh edge
+			u, v := rng.Uint32()%nv, rng.Uint32()%nv
+			if u == v || live[uint64(u)<<32|uint64(v)] {
+				step--
+				continue
+			}
+			dest := []int{rng.Intn(c.N()), rng.Intn(c.N())}
+			if err := c.InsertEdge(graph.VertexID(u), graph.VertexID(v), dest); err != nil {
+				t.Fatalf("step %d: insert (%d,%d): %v", step, u, v, err)
+			}
+			live[uint64(u)<<32|uint64(v)] = true
+			liveList = append(liveList, uint64(u)<<32|uint64(v))
+		case op < 7: // delete a live edge
+			if len(liveList) == 0 {
+				step--
+				continue
+			}
+			i := rng.Intn(len(liveList))
+			k := liveList[i]
+			liveList[i] = liveList[len(liveList)-1]
+			liveList = liveList[:len(liveList)-1]
+			delete(live, k)
+			if !c.DeleteEdge(graph.VertexID(k>>32), graph.VertexID(uint32(k))) {
+				t.Fatalf("step %d: live edge (%d,%d) not found", step, k>>32, uint32(k))
+			}
+		case op < 8: // re-insert a live edge (must be a coherent no-op)
+			if len(liveList) == 0 {
+				step--
+				continue
+			}
+			k := liveList[rng.Intn(len(liveList))]
+			dest := []int{rng.Intn(c.N()), rng.Intn(c.N())}
+			if err := c.InsertEdge(graph.VertexID(k>>32), graph.VertexID(uint32(k)), dest); err != nil {
+				t.Fatalf("step %d: repeat insert: %v", step, err)
+			}
+		default: // delete an absent edge (must report not-found, change nothing)
+			u, v := rng.Uint32()%nv, rng.Uint32()%nv
+			if live[uint64(u)<<32|uint64(v)] {
+				step--
+				continue
+			}
+			if c.DeleteEdge(graph.VertexID(u), graph.VertexID(v)) {
+				t.Fatalf("step %d: absent edge (%d,%d) reported deleted", step, u, v)
+			}
+		}
+
+		if err := c.ValidateIndex(); err != nil {
+			t.Fatalf("step %d: index invalid: %v", step, err)
+		}
+		ref := arcSet(c.Partition(0))
+		if len(ref) != len(live) {
+			t.Fatalf("step %d: partition 0 holds %d arcs, live set has %d", step, len(ref), len(live))
+		}
+		for k := range ref {
+			if !live[k] {
+				t.Fatalf("step %d: partition 0 holds untracked arc (%d,%d)", step, k>>32, uint32(k))
+			}
+		}
+		for j := 1; j < c.K(); j++ {
+			other := arcSet(c.Partition(j))
+			if len(other) != len(ref) {
+				t.Fatalf("step %d: partition %d holds %d arcs, partition 0 holds %d", step, j, len(other), len(ref))
+			}
+			for k := range other {
+				if !ref[k] {
+					t.Fatalf("step %d: partition %d holds arc (%d,%d) that partition 0 lacks", step, j, k>>32, uint32(k))
+				}
+			}
+		}
+	}
+}

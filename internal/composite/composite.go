@@ -270,6 +270,36 @@ func (c *Composite) ValidateIndex() error {
 	return nil
 }
 
+// EqualState reports whether o holds exactly the same composite state:
+// same shape, per-partition placement (partition.EqualPlacement), core
+// sizes, and per-arc coherence index entries. Nil on equality, an
+// error naming the first divergence otherwise.
+func (c *Composite) EqualState(o *Composite) error {
+	if c.k != o.k || c.n != o.n {
+		return fmt.Errorf("composite: shape (n=%d,k=%d) vs (n=%d,k=%d)", c.n, c.k, o.n, o.k)
+	}
+	for j := range c.parts {
+		if err := c.parts[j].EqualPlacement(o.parts[j]); err != nil {
+			return fmt.Errorf("composite: partition %d: %w", j, err)
+		}
+	}
+	for i := 0; i < c.n; i++ {
+		if c.coreArcs[i] != o.coreArcs[i] {
+			return fmt.Errorf("composite: core of fragment %d is %d arcs vs %d", i, c.coreArcs[i], o.coreArcs[i])
+		}
+		if len(c.index[i]) != len(o.index[i]) {
+			return fmt.Errorf("composite: index of fragment %d has %d arcs vs %d", i, len(c.index[i]), len(o.index[i]))
+		}
+		for k, e := range c.index[i] {
+			oe, ok := o.index[i][k]
+			if !ok || e != oe {
+				return fmt.Errorf("composite: index of fragment %d diverges at arc (%d,%d)", i, uint32(k>>32), uint32(k))
+			}
+		}
+	}
+	return nil
+}
+
 func popcount(x residualSet) int {
 	n := 0
 	for x != 0 {

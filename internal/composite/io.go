@@ -32,24 +32,48 @@ func Write(w io.Writer, c *Composite) error {
 	return bw.Flush()
 }
 
+// maxPartitions caps the bundle size a stored composite may declare;
+// it mirrors the residualSet bitset width, so anything past it is
+// corrupt input, not a big bundle.
+const maxPartitions = 32
+
 // Read reconstructs a composite over g from the format produced by
 // Write.
+//
+// Header fields are validated before any allocation scales with them —
+// a truncated, bit-flipped, or hostile stream yields a wrapped error,
+// never a panic or an oversized allocation.
 func Read(r io.Reader, g *graph.Graph) (*Composite, error) {
+	return read(r, g, partition.Read)
+}
+
+// ReadDynamic is Read for composites whose edge set has drifted from g
+// through logged inserts and deletes (the durable store's snapshots):
+// it delegates to partition.ReadDynamic, so stored arcs need not exist
+// in g.
+func ReadDynamic(r io.Reader, g *graph.Graph) (*Composite, error) {
+	return read(r, g, partition.ReadDynamic)
+}
+
+func read(r io.Reader, g *graph.Graph, readPart func(io.Reader, *graph.Graph) (*partition.Partition, error)) (*Composite, error) {
 	br := bufio.NewReader(r)
 	le := binary.LittleEndian
 	var magic, k uint32
 	if err := binary.Read(br, le, &magic); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("composite: reading magic: %w", err)
 	}
 	if magic != compositeMagic {
 		return nil, fmt.Errorf("composite: bad magic %#x", magic)
 	}
 	if err := binary.Read(br, le, &k); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("composite: reading partition count: %w", err)
+	}
+	if k == 0 || k > maxPartitions {
+		return nil, fmt.Errorf("composite: stored partition count %d out of range [1,%d]", k, maxPartitions)
 	}
 	parts := make([]*partition.Partition, 0, k)
 	for j := uint32(0); j < k; j++ {
-		p, err := partition.Read(br, g)
+		p, err := readPart(br, g)
 		if err != nil {
 			return nil, fmt.Errorf("composite: partition %d: %w", j, err)
 		}

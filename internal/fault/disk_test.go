@@ -1,0 +1,84 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDiskInjectorShortWrite(t *testing.T) {
+	inj := NewDiskInjector(DiskEvent{Kind: ShortWrite, N: 2, Bytes: 5})
+	for i := 0; i < 2; i++ {
+		if allow, err := inj.BeforeWrite(100); err != nil || allow != 100 {
+			t.Fatalf("write %d: allow=%d err=%v", i, allow, err)
+		}
+	}
+	allow, err := inj.BeforeWrite(100)
+	if !errors.Is(err, ErrDiskFault) {
+		t.Fatalf("op 2: err=%v, want ErrDiskFault", err)
+	}
+	if allow != 5 {
+		t.Fatalf("op 2: surviving prefix %d, want 5", allow)
+	}
+	// Later writes proceed: a short write is transient, not a crash.
+	if allow, err := inj.BeforeWrite(7); err != nil || allow != 7 {
+		t.Fatalf("op 3: allow=%d err=%v", allow, err)
+	}
+	if inj.Writes() != 4 {
+		t.Fatalf("counted %d writes, want 4", inj.Writes())
+	}
+}
+
+func TestDiskInjectorShortWriteClamped(t *testing.T) {
+	inj := NewDiskInjector(DiskEvent{Kind: ShortWrite, N: 0, Bytes: 50})
+	// The surviving prefix can never exceed the attempted write.
+	if allow, err := inj.BeforeWrite(10); !errors.Is(err, ErrDiskFault) || allow != 10 {
+		t.Fatalf("allow=%d err=%v", allow, err)
+	}
+}
+
+func TestDiskInjectorSyncErr(t *testing.T) {
+	inj := NewDiskInjector(DiskEvent{Kind: SyncErr, N: 1})
+	if err := inj.BeforeSync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.BeforeSync(); !errors.Is(err, ErrDiskFault) {
+		t.Fatalf("sync 1: err=%v, want ErrDiskFault", err)
+	}
+	if err := inj.BeforeSync(); err != nil {
+		t.Fatalf("sync 2 after transient failure: %v", err)
+	}
+}
+
+func TestDiskInjectorCrash(t *testing.T) {
+	inj := NewDiskInjector(DiskEvent{Kind: CrashWrite, N: 1, Bytes: 3})
+	if allow, err := inj.BeforeWrite(10); err != nil || allow != 10 {
+		t.Fatalf("write 0: allow=%d err=%v", allow, err)
+	}
+	allow, err := inj.BeforeWrite(10)
+	if !errors.Is(err, ErrCrashed) || allow != 3 {
+		t.Fatalf("crash write: allow=%d err=%v", allow, err)
+	}
+	if !inj.Crashed() {
+		t.Fatal("injector not marked crashed")
+	}
+	// A dead process issues no more io: everything fails from here on.
+	if _, err := inj.BeforeWrite(1); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write allowed: %v", err)
+	}
+	if err := inj.BeforeSync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync allowed: %v", err)
+	}
+}
+
+func TestDiskInjectorNilIsTransparent(t *testing.T) {
+	var inj *DiskInjector
+	if allow, err := inj.BeforeWrite(42); err != nil || allow != 42 {
+		t.Fatalf("nil injector interfered: allow=%d err=%v", allow, err)
+	}
+	if err := inj.BeforeSync(); err != nil {
+		t.Fatal(err)
+	}
+	if inj.Crashed() {
+		t.Fatal("nil injector crashed")
+	}
+}

@@ -1,0 +1,53 @@
+package partition
+
+import (
+	"fmt"
+
+	"adp/internal/graph"
+)
+
+// EqualPlacement reports whether q places exactly what p places: same
+// fragment count, identical per-fragment vertex and arc sets, and
+// identical owner, master and weight maps. It returns nil on equality
+// and an error naming the first divergence otherwise — the comparison
+// the crash-recovery tests use to assert a reopened store is bitwise
+// the state a clean prefix replay produces.
+func (p *Partition) EqualPlacement(q *Partition) error {
+	if p.NumFragments() != q.NumFragments() {
+		return fmt.Errorf("partition: %d fragments vs %d", p.NumFragments(), q.NumFragments())
+	}
+	if len(p.master) != len(q.master) {
+		return fmt.Errorf("partition: %d vertices vs %d", len(p.master), len(q.master))
+	}
+	for i := range p.frags {
+		pf, qf := p.frags[i], q.frags[i]
+		if pf.NumVertices() != qf.NumVertices() {
+			return fmt.Errorf("partition: fragment %d holds %d vertices vs %d", i, pf.NumVertices(), qf.NumVertices())
+		}
+		if pf.NumArcs() != qf.NumArcs() {
+			return fmt.Errorf("partition: fragment %d holds %d arcs vs %d", i, pf.NumArcs(), qf.NumArcs())
+		}
+		for k := range pf.arcs {
+			if _, ok := qf.arcs[k]; !ok {
+				return fmt.Errorf("partition: fragment %d arc (%d,%d) missing from other", i, uint32(k>>32), uint32(k))
+			}
+		}
+		for v := range pf.verts {
+			if _, ok := qf.verts[v]; !ok {
+				return fmt.Errorf("partition: fragment %d vertex %d missing from other", i, v)
+			}
+		}
+	}
+	for v := range p.master {
+		if p.master[v] != q.master[v] {
+			return fmt.Errorf("partition: master of vertex %d is %d vs %d", v, p.master[v], q.master[v])
+		}
+		if p.owner[v] != q.owner[v] {
+			return fmt.Errorf("partition: owner of vertex %d is %d vs %d", v, p.owner[v], q.owner[v])
+		}
+		if p.VertexWeight(graph.VertexID(v)) != q.VertexWeight(graph.VertexID(v)) {
+			return fmt.Errorf("partition: weight of vertex %d differs", v)
+		}
+	}
+	return nil
+}

@@ -85,6 +85,19 @@ const maxFragments = 1 << 20
 // error naming the offending fragment, never a panic or an
 // invariant-violating partition.
 func Read(r io.Reader, g *graph.Graph) (*Partition, error) {
+	return read(r, g, true)
+}
+
+// ReadDynamic is Read for partitions whose edge set has drifted from g
+// through logged inserts and deletes (the durable store's snapshots):
+// vertex ids are still bounds-checked against g, but arcs are not
+// required to exist in g and fragment arc counts may exceed
+// g.NumEdges().
+func ReadDynamic(r io.Reader, g *graph.Graph) (*Partition, error) {
+	return read(r, g, false)
+}
+
+func read(r io.Reader, g *graph.Graph, static bool) (*Partition, error) {
 	br := bufio.NewReader(r)
 	le := binary.LittleEndian
 	var magic, n, nv uint32
@@ -108,7 +121,7 @@ func Read(r io.Reader, g *graph.Graph) (*Partition, error) {
 		if err := binary.Read(br, le, &arcs); err != nil {
 			return nil, fmt.Errorf("partition: reading arc count of fragment %d: %w", i, err)
 		}
-		if int64(arcs) > g.NumEdges() {
+		if static && int64(arcs) > g.NumEdges() {
 			return nil, fmt.Errorf("partition: fragment %d declares %d arcs, graph has %d", i, arcs, g.NumEdges())
 		}
 		for a := uint32(0); a < arcs; a++ {
@@ -119,7 +132,7 @@ func Read(r io.Reader, g *graph.Graph) (*Partition, error) {
 			if pair[0] >= nv || pair[1] >= nv {
 				return nil, fmt.Errorf("partition: fragment %d stores arc (%d,%d) beyond %d vertices", i, pair[0], pair[1], nv)
 			}
-			if !g.HasEdge(graph.VertexID(pair[0]), graph.VertexID(pair[1])) {
+			if static && !g.HasEdge(graph.VertexID(pair[0]), graph.VertexID(pair[1])) {
 				return nil, fmt.Errorf("partition: stored arc (%d,%d) not in graph", pair[0], pair[1])
 			}
 			p.AddArc(i, graph.VertexID(pair[0]), graph.VertexID(pair[1]))

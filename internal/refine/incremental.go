@@ -104,7 +104,7 @@ func ApplyUpdates(p *partition.Partition, m costmodel.CostModel, inserts, delete
 	// already holding the most copies of the endpoints wins; brand-new
 	// vertices follow their neighbour.
 	for _, e := range inserts {
-		dst := routeFragment(np, e.Src, e.Dst)
+		dst := RouteFragment(np, e.Src, e.Dst)
 		np.AddEdge(dst, e.Src, e.Dst)
 		stats.RoutedArcs++
 	}
@@ -124,10 +124,11 @@ func ApplyUpdates(p *partition.Partition, m costmodel.CostModel, inserts, delete
 	return np, stats, nil
 }
 
-// routeFragment picks the fragment with the strongest presence of the
+// RouteFragment picks the fragment with the strongest presence of the
 // edge's endpoints (owner copies count double), defaulting to the
-// least-loaded fragment for fresh vertices.
-func routeFragment(p *partition.Partition, u, v graph.VertexID) int {
+// least-loaded fragment for fresh vertices. The durable store reuses
+// it to derive default destination vectors for logged inserts.
+func RouteFragment(p *partition.Partition, u, v graph.VertexID) int {
 	votes := make([]int, p.NumFragments())
 	for _, vid := range []graph.VertexID{u, v} {
 		if int(vid) >= p.Graph().NumVertices() {

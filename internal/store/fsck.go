@@ -1,0 +1,232 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+
+	"adp/internal/composite"
+	"adp/internal/graph"
+)
+
+// Fsck is the offline integrity walk behind `adpart -fsck <dir>`: it
+// classifies every snapshot and every WAL frame without opening the
+// store for writing, and (with repair) truncates frame-level damage
+// the way Open's recovery would.
+
+// SnapshotStatus describes one snapshot file.
+type SnapshotStatus struct {
+	Name  string
+	LSN   uint64
+	Bytes int64
+	// Err is empty for a readable snapshot. Deep parsing requires the
+	// graph; with a nil graph only existence and size are checked and
+	// Err is empty unless the file is unreadable.
+	Err string
+}
+
+// SegmentStatus describes one WAL segment file.
+type SegmentStatus struct {
+	Name     string
+	StartLSN uint64
+	Bytes    int64
+	// Frames counts cleanly decoded frames; Commits the commit markers
+	// among them; Mutations the insert/delete records.
+	Frames    int
+	Commits   int
+	Mutations int
+	LastLSN   uint64
+	// Damage is non-nil when decoding stopped before the end of file.
+	Damage *Damage
+	// UncommittedFrames counts clean frames after the last commit
+	// marker (an un-acked tail — not damage, but Open will discard it).
+	UncommittedFrames int
+	// CommittedEnd is the byte offset just past the last commit marker
+	// (the repair truncation point when Damage is set).
+	CommittedEnd int64
+}
+
+// FsckReport is the full classification of a store directory.
+type FsckReport struct {
+	Dir       string
+	Snapshots []SnapshotStatus
+	Segments  []SegmentStatus
+	// ChainBroken notes an LSN discontinuity between segments, with the
+	// offending segment name.
+	ChainBroken string
+	// Repaired lists the repair actions taken (empty without repair).
+	Repaired []string
+}
+
+// Healthy reports whether every snapshot parses, every frame decodes,
+// no un-acked tail lingers, and the segment chain is unbroken.
+func (r *FsckReport) Healthy() bool {
+	for _, s := range r.Snapshots {
+		if s.Err != "" {
+			return false
+		}
+	}
+	for _, s := range r.Segments {
+		if s.Damage != nil || s.UncommittedFrames > 0 {
+			return false
+		}
+	}
+	return r.ChainBroken == ""
+}
+
+// Format renders the report for humans, one line per file.
+func (r *FsckReport) Format(w io.Writer) {
+	fmt.Fprintf(w, "fsck %s: ", r.Dir)
+	if r.Healthy() {
+		fmt.Fprintln(w, "healthy")
+	} else {
+		fmt.Fprintln(w, "DAMAGED")
+	}
+	for _, s := range r.Snapshots {
+		status := "ok"
+		if s.Err != "" {
+			status = "CORRUPT: " + s.Err
+		}
+		fmt.Fprintf(w, "  %s  lsn=%d  %d bytes  %s\n", s.Name, s.LSN, s.Bytes, status)
+	}
+	for _, s := range r.Segments {
+		span := fmt.Sprintf("lsn=%d..%d", s.StartLSN, s.LastLSN)
+		if s.Frames == 0 {
+			span = fmt.Sprintf("lsn=%d (empty)", s.StartLSN)
+		}
+		fmt.Fprintf(w, "  %s  %s  %d bytes  %d frames (%d muts, %d commits)",
+			s.Name, span, s.Bytes, s.Frames, s.Mutations, s.Commits)
+		if s.UncommittedFrames > 0 {
+			fmt.Fprintf(w, "  UNCOMMITTED TAIL: %d frames past offset %d", s.UncommittedFrames, s.CommittedEnd)
+		}
+		if s.Damage != nil {
+			fmt.Fprintf(w, "  DAMAGE: %s at offset %d", s.Damage.Reason, s.Damage.Offset)
+		}
+		fmt.Fprintln(w)
+	}
+	if r.ChainBroken != "" {
+		fmt.Fprintf(w, "  CHAIN BROKEN at %s\n", r.ChainBroken)
+	}
+	for _, a := range r.Repaired {
+		fmt.Fprintf(w, "  repaired: %s\n", a)
+	}
+}
+
+// Fsck walks the store directory and classifies every file. g enables
+// deep snapshot verification (composite parse + index validation); a
+// nil g checks snapshots for readability only. With repair set,
+// damaged segments are truncated at their last commit boundary (the
+// same cut Open's recovery makes) and the actions are recorded in
+// Repaired.
+func Fsck(dir string, g *graph.Graph, repair bool) (*FsckReport, error) {
+	fs := vfs(osVFS{})
+	names, err := fs.List(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fsck: %w", err)
+	}
+	rep := &FsckReport{Dir: dir}
+
+	var snapLSNs, segLSNs []uint64
+	segName := make(map[uint64]string)
+	for _, n := range names {
+		if lsn, ok := parseSnapName(n); ok {
+			snapLSNs = append(snapLSNs, lsn)
+		}
+		if lsn, ok := parseWALName(n); ok {
+			segLSNs = append(segLSNs, lsn)
+			segName[lsn] = n
+		}
+	}
+	sort.Slice(snapLSNs, func(i, j int) bool { return snapLSNs[i] < snapLSNs[j] })
+	sort.Slice(segLSNs, func(i, j int) bool { return segLSNs[i] < segLSNs[j] })
+
+	for _, lsn := range snapLSNs {
+		st := SnapshotStatus{Name: snapName(lsn), LSN: lsn}
+		data, err := fs.ReadFile(join(dir, st.Name))
+		if err != nil {
+			st.Err = err.Error()
+		} else {
+			st.Bytes = int64(len(data))
+			if g != nil {
+				c, err := composite.ReadDynamic(bytes.NewReader(data), g)
+				if err != nil {
+					st.Err = err.Error()
+				} else if err := c.ValidateIndex(); err != nil {
+					st.Err = err.Error()
+				}
+			}
+		}
+		rep.Snapshots = append(rep.Snapshots, st)
+	}
+
+	next := uint64(0)
+	for _, lsn := range segLSNs {
+		st := SegmentStatus{Name: segName[lsn], StartLSN: lsn, CommittedEnd: segHdrLen}
+		data, err := fs.ReadFile(join(dir, st.Name))
+		if err != nil {
+			st.Damage = &Damage{Offset: 0, Reason: err.Error()}
+			rep.Segments = append(rep.Segments, st)
+			next = 0
+			continue
+		}
+		st.Bytes = int64(len(data))
+		if next != 0 && lsn != next && rep.ChainBroken == "" {
+			rep.ChainBroken = fmt.Sprintf("%s (starts at lsn %d, previous segment ends at %d)", st.Name, lsn, next-1)
+		}
+		frames, dmg, serr := scanSegment(data, lsn)
+		if serr != nil {
+			st.Damage = &Damage{Offset: 0, Reason: serr.Error()}
+		} else {
+			st.Damage = dmg
+		}
+		st.Frames = len(frames)
+		sinceCommit := 0
+		for _, f := range frames {
+			st.LastLSN = f.lsn
+			switch f.kind {
+			case recCommit:
+				st.Commits++
+				st.CommittedEnd = f.end
+				sinceCommit = 0
+			case recInsert, recDelete:
+				st.Mutations++
+				sinceCommit++
+			default:
+				sinceCommit++
+			}
+		}
+		st.UncommittedFrames = sinceCommit
+		if len(frames) > 0 {
+			next = st.LastLSN + 1
+		} else if st.Damage == nil {
+			next = lsn
+		} else {
+			next = 0
+		}
+		rep.Segments = append(rep.Segments, st)
+	}
+
+	if repair {
+		for i := range rep.Segments {
+			st := &rep.Segments[i]
+			if st.Damage == nil && st.UncommittedFrames == 0 {
+				continue
+			}
+			if err := fs.Truncate(join(dir, st.Name), st.CommittedEnd); err != nil {
+				return rep, fmt.Errorf("fsck: repairing %s: %w", st.Name, err)
+			}
+			cause := fmt.Sprintf("%d un-acked frames", st.UncommittedFrames)
+			if st.Damage != nil {
+				cause = fmt.Sprintf("%s at offset %d", st.Damage.Reason, st.Damage.Offset)
+			}
+			rep.Repaired = append(rep.Repaired,
+				fmt.Sprintf("%s truncated from %d to %d bytes (cut %s)",
+					st.Name, st.Bytes, st.CommittedEnd, cause))
+			st.Bytes = st.CommittedEnd
+			st.Damage = nil
+			st.UncommittedFrames = 0
+		}
+	}
+	return rep, nil
+}

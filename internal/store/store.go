@@ -1,0 +1,653 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"adp/internal/composite"
+	"adp/internal/fault"
+	"adp/internal/graph"
+)
+
+// Options tunes a store's durability/throughput trade and threads the
+// deterministic disk-fault injector through the write path.
+type Options struct {
+	// SyncEvery is the number of commits between fsyncs: 0 or 1 syncs
+	// every commit (full durability), N>1 batches N commits per fsync
+	// (a bounded loss window of up to N-1 acked batches on power
+	// failure — never an inconsistent state, recovery still lands on a
+	// commit boundary).
+	SyncEvery int
+	// SnapshotEvery triggers an automatic snapshot + log compaction
+	// once this many mutations have committed since the last snapshot;
+	// 0 disables automatic snapshots (call Snapshot explicitly).
+	SnapshotEvery int
+	// Injector, when non-nil, arms deterministic disk faults (short
+	// writes, fsync errors, crash-after-N-bytes) on every write and
+	// sync the store issues.
+	Injector *fault.DiskInjector
+}
+
+func (o Options) syncEvery() int {
+	if o.SyncEvery < 1 {
+		return 1
+	}
+	return o.SyncEvery
+}
+
+// RecoveryInfo describes what Open found and did.
+type RecoveryInfo struct {
+	// SnapshotLSN is the LSN covered by the snapshot recovery started
+	// from.
+	SnapshotLSN uint64
+	// Replayed counts committed mutations applied on top of the
+	// snapshot.
+	Replayed int
+	// SkippedFrames counts valid frames at or below the snapshot LSN
+	// (already folded into the snapshot).
+	SkippedFrames int
+	// DiscardedMutations counts valid but never-committed mutations
+	// dropped from the tail (they were never acked).
+	DiscardedMutations int
+	// Damage is non-nil when the scan stopped at a torn or corrupt
+	// frame; DamagedSegment names the file.
+	Damage         *Damage
+	DamagedSegment string
+	// TruncatedBytes is how many trailing log bytes Open cut away
+	// (damage plus uncommitted tail).
+	TruncatedBytes int64
+	// SnapshotsSkipped counts newer snapshot files that failed to parse
+	// and were passed over.
+	SnapshotsSkipped int
+}
+
+// String summarises the recovery on one line.
+func (ri *RecoveryInfo) String() string {
+	s := fmt.Sprintf("recovered from snapshot lsn=%d: replayed %d, discarded %d uncommitted, truncated %d bytes",
+		ri.SnapshotLSN, ri.Replayed, ri.DiscardedMutations, ri.TruncatedBytes)
+	if ri.Damage != nil {
+		s += fmt.Sprintf(" (%s: %s at offset %d)", ri.DamagedSegment, ri.Damage.Reason, ri.Damage.Offset)
+	}
+	return s
+}
+
+// Store is a crash-consistent composite partition: an in-memory
+// composite fronted by an append-only mutation WAL and periodic full
+// snapshots. Not safe for concurrent use; wrap externally if shared.
+type Store struct {
+	dir  string
+	fs   vfs
+	opts Options
+	g    *graph.Graph
+	comp *composite.Composite
+
+	nextLSN uint64 // LSN the next appended frame gets
+	snapLSN uint64 // highest LSN folded into the newest snapshot
+
+	seg     vfile
+	segName string
+
+	pending     []byte // encoded frames since the last commit
+	pendingMuts int
+	lastDest    []int // destination vector of the last logged recDest
+
+	commitsSinceSync int
+	mutsSinceSnap    int
+	committed        int64
+
+	failed error
+}
+
+func snapName(lsn uint64) string { return fmt.Sprintf("snap-%016x.comp", lsn) }
+func walName(lsn uint64) string  { return fmt.Sprintf("wal-%016x.log", lsn) }
+
+func parseLSNName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	hex := name[len(prefix) : len(name)-len(suffix)]
+	if len(hex) != 16 {
+		return 0, false
+	}
+	lsn, err := strconv.ParseUint(hex, 16, 64)
+	return lsn, err == nil
+}
+
+func parseSnapName(name string) (uint64, bool) { return parseLSNName(name, "snap-", ".comp") }
+func parseWALName(name string) (uint64, bool)  { return parseLSNName(name, "wal-", ".log") }
+
+// Create initialises dir (created if missing, must not already hold a
+// store) with a full snapshot of c at LSN 0 and an empty WAL segment.
+// The store mutates c in place from then on.
+func Create(dir string, c *composite.Composite, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	fs := withInjector(vfs(osVFS{}), opts.Injector)
+	names, err := fs.List(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for _, n := range names {
+		_, isSnap := parseSnapName(n)
+		_, isWAL := parseWALName(n)
+		if isSnap || isWAL {
+			return nil, fmt.Errorf("store: %s already holds a store (found %s); use Open", dir, n)
+		}
+	}
+	s := &Store{
+		dir:  dir,
+		fs:   fs,
+		opts: opts,
+		g:    c.Partition(0).Graph(),
+		comp: c,
+		// LSN 0 is reserved for "nothing logged yet": the first frame
+		// gets LSN 1 and the initial snapshot covers LSN 0.
+		nextLSN: 1,
+	}
+	if err := s.writeSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := s.openSegment(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Open recovers the store in dir over g: it loads the newest readable
+// snapshot, replays every committed WAL mutation above its LSN in
+// order, truncates the log at the first torn or corrupt frame (and
+// drops any valid but uncommitted tail — those mutations were never
+// acked), and resumes logging on a fresh segment. Damaged log bytes
+// never fail an Open; it fails only when no usable snapshot exists or
+// when compaction has discarded frames a fallback snapshot would need.
+func Open(dir string, g *graph.Graph, opts Options) (*Store, *RecoveryInfo, error) {
+	fs := withInjector(vfs(osVFS{}), opts.Injector)
+	names, err := fs.List(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	info := &RecoveryInfo{}
+
+	var snaps []uint64
+	segs := make(map[uint64]string)
+	var segLSNs []uint64
+	for _, n := range names {
+		if lsn, ok := parseSnapName(n); ok {
+			snaps = append(snaps, lsn)
+		}
+		if lsn, ok := parseWALName(n); ok {
+			segs[lsn] = n
+			segLSNs = append(segLSNs, lsn)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	sort.Slice(segLSNs, func(i, j int) bool { return segLSNs[i] < segLSNs[j] })
+	if len(snaps) == 0 {
+		return nil, nil, fmt.Errorf("store: %s holds no snapshot", dir)
+	}
+
+	// Newest readable snapshot wins.
+	var comp *composite.Composite
+	var compLSN uint64
+	for i := len(snaps) - 1; i >= 0; i-- {
+		data, rerr := fs.ReadFile(join(dir, snapName(snaps[i])))
+		if rerr == nil {
+			var c *composite.Composite
+			// Dynamic read: logged inserts put arcs in snapshots that the
+			// base graph never had.
+			c, rerr = composite.ReadDynamic(bytes.NewReader(data), g)
+			if rerr == nil {
+				comp, compLSN = c, snaps[i]
+				break
+			}
+		}
+		info.SnapshotsSkipped++
+	}
+	if comp == nil {
+		return nil, nil, fmt.Errorf("store: no snapshot in %s is readable (%d tried)", dir, len(snaps))
+	}
+	if info.SnapshotsSkipped > 0 && len(segLSNs) > 0 && segLSNs[0] > compLSN+1 {
+		// A fallback snapshot is only usable while the log still
+		// reaches back to it; compaction may have cut that prefix.
+		return nil, nil, fmt.Errorf("store: newest snapshot unreadable and log compacted past the %s fallback (log starts at lsn %d)",
+			snapName(compLSN), segLSNs[0])
+	}
+	info.SnapshotLSN = compLSN
+
+	s := &Store{dir: dir, fs: fs, opts: opts, g: g, comp: comp, snapLSN: compLSN, nextLSN: compLSN + 1}
+	if err := s.replay(segs, segLSNs, info); err != nil {
+		return nil, nil, err
+	}
+	if err := s.openSegment(); err != nil {
+		return nil, nil, err
+	}
+	return s, info, nil
+}
+
+// replay walks the WAL segments in LSN order, applies committed
+// batches above the snapshot LSN, and physically truncates the log at
+// the first damage or after the last commit.
+func (s *Store) replay(segs map[uint64]string, segLSNs []uint64, info *RecoveryInfo) error {
+	type batched struct {
+		insert bool
+		u, v   graph.VertexID
+		dest   []int
+	}
+	var (
+		batch   []batched
+		curDest []int
+		next    = uint64(0) // expected first LSN; 0 accepts any start
+	)
+	// liveStart is the first segment not fully covered by the snapshot;
+	// covered segments are skipped without decoding so bitrot in
+	// compacted-but-undeleted history cannot block live replay.
+	liveStart := 0
+	for si := range segLSNs {
+		if si+1 < len(segLSNs) && segLSNs[si+1] <= s.snapLSN+1 {
+			liveStart = si + 1
+		}
+	}
+	// Last fully-committed position within the live segments.
+	lastCommitSeg, lastCommitOff := -1, int64(segHdrLen)
+	damageAt := func(si int, d *Damage) {
+		if info.Damage == nil {
+			info.Damage = d
+			info.DamagedSegment = segs[segLSNs[si]]
+		}
+	}
+	nVerts := uint64(s.g.NumVertices())
+
+scan:
+	for si := liveStart; si < len(segLSNs); si++ {
+		start := segLSNs[si]
+		data, err := s.fs.ReadFile(join(s.dir, segs[start]))
+		if err != nil {
+			return fmt.Errorf("store: reading segment %s: %w", segs[start], err)
+		}
+		if next != 0 && start != next {
+			// A gap or overlap between segments severs the LSN chain:
+			// nothing from here on is trustworthy.
+			damageAt(si, &Damage{Offset: 0, Reason: fmt.Sprintf("segment starts at lsn %d, want %d", start, next)})
+			break scan
+		}
+		if next == 0 && start > s.snapLSN+1 {
+			// The live log does not reach back to the snapshot: frames
+			// between are missing, so nothing here can be applied.
+			damageAt(si, &Damage{Offset: 0, Reason: fmt.Sprintf("segment starts at lsn %d, snapshot covers %d", start, s.snapLSN)})
+			break scan
+		}
+		frames, dmg, err := scanSegment(data, start)
+		if err != nil {
+			damageAt(si, &Damage{Offset: 0, Reason: err.Error()})
+			break scan
+		}
+		for _, f := range frames {
+			bad := func(reason string) { damageAt(si, &Damage{Offset: f.off, Reason: reason}) }
+			switch f.kind {
+			case recDest:
+				dest, derr := decodeDest(f.body)
+				if derr != nil {
+					bad(derr.Error())
+					break scan
+				}
+				if len(dest) != s.comp.K() {
+					bad(fmt.Sprintf("dest vector has %d entries, composite has %d partitions", len(dest), s.comp.K()))
+					break scan
+				}
+				for _, d := range dest {
+					if d < 0 || d >= s.comp.N() {
+						bad(fmt.Sprintf("dest fragment %d out of range [0,%d)", d, s.comp.N()))
+						break scan
+					}
+				}
+				curDest = dest
+			case recInsert, recDelete:
+				u, v, derr := decodeEdge(f.body)
+				if derr != nil {
+					bad(derr.Error())
+					break scan
+				}
+				if uint64(u) >= nVerts || uint64(v) >= nVerts {
+					bad(fmt.Sprintf("edge (%d,%d) beyond %d vertices", u, v, nVerts))
+					break scan
+				}
+				if f.kind == recInsert && curDest == nil {
+					bad("insert with no destination vector in effect")
+					break scan
+				}
+				if f.lsn > s.snapLSN {
+					batch = append(batch, batched{insert: f.kind == recInsert, u: u, v: v, dest: curDest})
+				} else {
+					info.SkippedFrames++
+				}
+			case recCommit:
+				for _, m := range batch {
+					if m.insert {
+						if err := s.comp.InsertEdge(m.u, m.v, m.dest); err != nil {
+							// Unreachable after the validation above;
+							// classified as damage rather than a failed
+							// recovery.
+							bad(fmt.Sprintf("applying insert: %v", err))
+							break scan
+						}
+					} else {
+						s.comp.DeleteEdge(m.u, m.v)
+					}
+					info.Replayed++
+				}
+				if f.lsn <= s.snapLSN {
+					info.SkippedFrames++
+				}
+				batch = batch[:0]
+				lastCommitSeg, lastCommitOff = si, f.end
+				s.nextLSN = f.lsn + 1
+			}
+		}
+		if dmg != nil {
+			damageAt(si, dmg)
+			break scan
+		}
+		next = start + uint64(len(frames))
+	}
+	info.DiscardedMutations = len(batch)
+
+	// Physical truncation: cut the damaged/uncommitted tail so future
+	// opens see a log ending exactly at the last acked commit. Live
+	// segments past the last commit go entirely; the one holding it is
+	// truncated to the commit boundary. With no commit in the live log,
+	// the first live segment is reset to its bare header.
+	keepSeg, keepOff := lastCommitSeg, lastCommitOff
+	if keepSeg < 0 {
+		keepSeg, keepOff = liveStart, segHdrLen
+	}
+	for si := len(segLSNs) - 1; si >= liveStart; si-- {
+		name := segs[segLSNs[si]]
+		path := join(s.dir, name)
+		switch {
+		case si > keepSeg:
+			info.TruncatedBytes += s.fileSizeBeyond(path, 0)
+			if err := s.fs.Remove(path); err != nil {
+				return fmt.Errorf("store: removing %s: %w", name, err)
+			}
+		case si == keepSeg:
+			if extra := s.fileSizeBeyond(path, keepOff); extra > 0 {
+				info.TruncatedBytes += extra
+				if err := s.fs.Truncate(path, keepOff); err != nil {
+					return fmt.Errorf("store: truncating %s: %w", name, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Store) fileSizeBeyond(path string, keep int64) int64 {
+	data, err := s.fs.ReadFile(path)
+	if err != nil || int64(len(data)) <= keep {
+		return 0
+	}
+	return int64(len(data)) - keep
+}
+
+// openSegment starts a fresh active segment at the next LSN.
+func (s *Store) openSegment() error {
+	s.segName = walName(s.nextLSN)
+	f, err := s.fs.Create(join(s.dir, s.segName))
+	if err != nil {
+		return s.fail(fmt.Errorf("store: creating segment: %w", err))
+	}
+	if _, err := f.Write(newSegmentHeader()); err != nil {
+		f.Close()
+		return s.fail(fmt.Errorf("store: writing segment header: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return s.fail(fmt.Errorf("store: syncing segment header: %w", err))
+	}
+	s.seg = f
+	// A fresh segment re-logs the destination vector on first use.
+	s.lastDest = nil
+	return nil
+}
+
+// fail poisons the store: after a write-path error the in-memory
+// composite may be ahead of the acked log, so every further operation
+// refuses until the caller reopens (recovering the last acked state).
+func (s *Store) fail(err error) error {
+	if s.failed == nil {
+		s.failed = err
+	}
+	return err
+}
+
+var errPoisoned = errors.New("store: previous write failed; reopen to recover")
+
+func (s *Store) ready() error {
+	if s.failed != nil {
+		return fmt.Errorf("%w (cause: %v)", errPoisoned, s.failed)
+	}
+	if s.seg == nil {
+		return errors.New("store: closed")
+	}
+	return nil
+}
+
+// Composite exposes the live in-memory composite. Mutate it only
+// through the store, or the log diverges from the state.
+func (s *Store) Composite() *composite.Composite { return s.comp }
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// LSN returns the LSN of the most recently appended frame.
+func (s *Store) LSN() uint64 { return s.nextLSN - 1 }
+
+// Committed returns the number of mutations committed through this
+// handle.
+func (s *Store) Committed() int64 { return s.committed }
+
+// Insert coherently inserts the edge into every bundled partition and
+// logs it. dest[j] names the target fragment in partition j; a nil
+// dest routes each partition by endpoint locality
+// (refine.RouteFragment). Durable only after Commit.
+func (s *Store) Insert(u, v graph.VertexID, dest []int) error {
+	if err := s.ready(); err != nil {
+		return err
+	}
+	if int64(u) >= int64(s.g.NumVertices()) || int64(v) >= int64(s.g.NumVertices()) {
+		return fmt.Errorf("store: edge (%d,%d) beyond %d vertices", u, v, s.g.NumVertices())
+	}
+	if dest == nil {
+		dest = RouteDest(s.comp, u, v)
+	}
+	if !equalInts(dest, s.lastDest) {
+		s.pending = appendFrame(s.pending, s.nextLSN, recDest, encodeDest(dest))
+		s.nextLSN++
+		s.lastDest = append([]int(nil), dest...)
+	}
+	if err := s.comp.InsertEdge(u, v, dest); err != nil {
+		return err
+	}
+	s.pending = appendFrame(s.pending, s.nextLSN, recInsert, encodeEdge(u, v))
+	s.nextLSN++
+	s.pendingMuts++
+	return nil
+}
+
+// Delete coherently deletes the edge from every bundled partition and
+// logs it; reports whether any copy existed (absent edges are not
+// logged). Durable only after Commit.
+func (s *Store) Delete(u, v graph.VertexID) (bool, error) {
+	if err := s.ready(); err != nil {
+		return false, err
+	}
+	if !s.comp.DeleteEdge(u, v) {
+		return false, nil
+	}
+	s.pending = appendFrame(s.pending, s.nextLSN, recDelete, encodeEdge(u, v))
+	s.nextLSN++
+	s.pendingMuts++
+	return true, nil
+}
+
+// Commit appends a commit marker and writes the whole batch to the log
+// in one append; the batch is acked once Commit returns nil. Fsync
+// cadence follows Options.SyncEvery. A no-op with nothing pending.
+func (s *Store) Commit() error { return s.commit(true) }
+
+func (s *Store) commit(allowSnap bool) error {
+	if err := s.ready(); err != nil {
+		return err
+	}
+	if len(s.pending) == 0 {
+		return nil
+	}
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(s.pendingMuts))
+	s.pending = appendFrame(s.pending, s.nextLSN, recCommit, cnt[:])
+	s.nextLSN++
+	if _, err := s.seg.Write(s.pending); err != nil {
+		return s.fail(fmt.Errorf("store: appending commit batch: %w", err))
+	}
+	s.commitsSinceSync++
+	if s.commitsSinceSync >= s.opts.syncEvery() {
+		if err := s.seg.Sync(); err != nil {
+			return s.fail(fmt.Errorf("store: syncing log: %w", err))
+		}
+		s.commitsSinceSync = 0
+	}
+	s.committed += int64(s.pendingMuts)
+	s.mutsSinceSnap += s.pendingMuts
+	s.pending = s.pending[:0]
+	s.pendingMuts = 0
+	if allowSnap && s.opts.SnapshotEvery > 0 && s.mutsSinceSnap >= s.opts.SnapshotEvery {
+		return s.Snapshot()
+	}
+	return nil
+}
+
+// Snapshot commits anything pending, persists the full composite via
+// an fsynced temp file plus atomic rename, rotates to a fresh WAL
+// segment, and compacts: covered segments and all but one older
+// snapshot are deleted.
+func (s *Store) Snapshot() error {
+	if err := s.commit(false); err != nil {
+		return err
+	}
+	if err := s.ready(); err != nil {
+		return err
+	}
+	if err := s.seg.Sync(); err != nil {
+		return s.fail(fmt.Errorf("store: syncing log before snapshot: %w", err))
+	}
+	s.commitsSinceSync = 0
+	if err := s.seg.Close(); err != nil {
+		s.seg = nil
+		return s.fail(fmt.Errorf("store: closing segment: %w", err))
+	}
+	s.seg = nil
+	if err := s.writeSnapshot(); err != nil {
+		return s.fail(err)
+	}
+	if err := s.openSegment(); err != nil {
+		return err
+	}
+	// Compaction: every non-active segment is covered by the snapshot
+	// we just published (its frames all carry LSNs below the new
+	// segment's start).
+	names, err := s.fs.List(s.dir)
+	if err != nil {
+		return nil // compaction is advisory; the next snapshot retries
+	}
+	var oldSnaps []uint64
+	for _, n := range names {
+		if _, ok := parseWALName(n); ok && n != s.segName {
+			_ = s.fs.Remove(join(s.dir, n))
+		}
+		if lsn, ok := parseSnapName(n); ok && lsn < s.snapLSN {
+			oldSnaps = append(oldSnaps, lsn)
+		}
+	}
+	// Keep the newest older snapshot as a bitrot fallback; it is only
+	// usable until the next compaction, but it costs little.
+	sort.Slice(oldSnaps, func(i, j int) bool { return oldSnaps[i] < oldSnaps[j] })
+	for i := 0; i+1 < len(oldSnaps); i++ {
+		_ = s.fs.Remove(join(s.dir, snapName(oldSnaps[i])))
+	}
+	return nil
+}
+
+// writeSnapshot persists the composite as snap-<lastLSN> atomically.
+func (s *Store) writeSnapshot() error {
+	lsn := s.nextLSN - 1
+	final := snapName(lsn)
+	tmp := final + ".tmp"
+	// Encode in memory first: the snapshot lands in one Write call, so
+	// injected write faults hit whole-snapshot boundaries and the op
+	// count stays deterministic for the fault schedules.
+	var buf bytes.Buffer
+	if err := composite.Write(&buf, s.comp); err != nil {
+		return fmt.Errorf("store: encoding snapshot: %w", err)
+	}
+	f, err := s.fs.Create(join(s.dir, tmp))
+	if err != nil {
+		return fmt.Errorf("store: creating snapshot: %w", err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: closing snapshot: %w", err)
+	}
+	if err := s.fs.Rename(join(s.dir, tmp), join(s.dir, final)); err != nil {
+		return fmt.Errorf("store: publishing snapshot: %w", err)
+	}
+	s.snapLSN = lsn
+	s.mutsSinceSnap = 0
+	return nil
+}
+
+// Close commits anything pending, syncs and closes the log. The store
+// is unusable afterwards.
+func (s *Store) Close() error {
+	if s.seg == nil {
+		return nil
+	}
+	if err := s.commit(false); err != nil {
+		s.seg.Close()
+		s.seg = nil
+		return err
+	}
+	if err := s.seg.Sync(); err != nil {
+		s.seg.Close()
+		s.seg = nil
+		return s.fail(fmt.Errorf("store: syncing log on close: %w", err))
+	}
+	err := s.seg.Close()
+	s.seg = nil
+	return err
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,176 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"adp/internal/composite"
+	"adp/internal/graph"
+	"adp/internal/refine"
+)
+
+// The textual update stream is the WAL record grammar spelled out for
+// humans — the `adpart -updates` driver and the tests speak it:
+//
+//	+ U V [D0 D1 ... Dk-1]   insert edge (U,V); the optional Di name
+//	                         the destination fragment per bundled
+//	                         partition, defaulting to locality routing
+//	- U V                    delete edge (U,V)
+//	commit                   batch boundary (ack point)
+//
+// Blank lines and lines starting with '#' are skipped.
+
+// MutKind enumerates update-stream operations.
+type MutKind uint8
+
+const (
+	MutInsert MutKind = iota + 1
+	MutDelete
+	MutCommit
+)
+
+// Mutation is one parsed update-stream line.
+type Mutation struct {
+	Kind MutKind
+	U, V graph.VertexID
+	// Dest is the explicit destination vector of an insert; nil routes
+	// by locality.
+	Dest []int
+}
+
+// String renders the mutation in the update-stream grammar.
+func (m Mutation) String() string {
+	switch m.Kind {
+	case MutInsert:
+		s := fmt.Sprintf("+ %d %d", m.U, m.V)
+		for _, d := range m.Dest {
+			s += fmt.Sprintf(" %d", d)
+		}
+		return s
+	case MutDelete:
+		return fmt.Sprintf("- %d %d", m.U, m.V)
+	case MutCommit:
+		return "commit"
+	}
+	return "invalid"
+}
+
+// ParseUpdates reads an update stream. Line numbers appear in errors.
+func ParseUpdates(r io.Reader) ([]Mutation, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	var muts []Mutation
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "commit":
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("updates: line %d: commit takes no operands", line)
+			}
+			muts = append(muts, Mutation{Kind: MutCommit})
+		case "+", "-":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("updates: line %d: %q needs two vertex ids", line, fields[0])
+			}
+			u, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("updates: line %d: bad vertex %q", line, fields[1])
+			}
+			v, err := strconv.ParseUint(fields[2], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("updates: line %d: bad vertex %q", line, fields[2])
+			}
+			m := Mutation{U: graph.VertexID(u), V: graph.VertexID(v)}
+			if fields[0] == "-" {
+				if len(fields) != 3 {
+					return nil, fmt.Errorf("updates: line %d: delete takes no destinations", line)
+				}
+				m.Kind = MutDelete
+			} else {
+				m.Kind = MutInsert
+				for _, f := range fields[3:] {
+					d, err := strconv.Atoi(f)
+					if err != nil || d < 0 {
+						return nil, fmt.Errorf("updates: line %d: bad destination %q", line, f)
+					}
+					m.Dest = append(m.Dest, d)
+				}
+			}
+			muts = append(muts, m)
+		default:
+			return nil, fmt.Errorf("updates: line %d: unknown op %q (want +, - or commit)", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("updates: %w", err)
+	}
+	return muts, nil
+}
+
+// RouteDest derives a destination vector for inserting (u,v): each
+// bundled partition routes independently by endpoint locality, the
+// same policy refine.ApplyUpdates uses for single partitions.
+func RouteDest(c *composite.Composite, u, v graph.VertexID) []int {
+	dest := make([]int, c.K())
+	for j := range dest {
+		dest[j] = refine.RouteFragment(c.Partition(j), u, v)
+	}
+	return dest
+}
+
+// Apply runs a parsed update stream through the store: inserts and
+// deletes between commit markers form one durable batch each; a
+// trailing unterminated batch is committed at the end. It returns the
+// number of applied inserts and deletes.
+func (s *Store) Apply(muts []Mutation) (inserts, deletes int, err error) {
+	for i, m := range muts {
+		switch m.Kind {
+		case MutInsert:
+			dest := m.Dest
+			if len(dest) != 0 && len(dest) != s.comp.K() {
+				return inserts, deletes, fmt.Errorf("store: mutation %d: %d destinations for %d partitions", i, len(dest), s.comp.K())
+			}
+			if len(dest) == 0 {
+				dest = nil
+			}
+			if err := s.Insert(m.U, m.V, dest); err != nil {
+				return inserts, deletes, fmt.Errorf("store: mutation %d: %w", i, err)
+			}
+			inserts++
+		case MutDelete:
+			if _, err := s.Delete(m.U, m.V); err != nil {
+				return inserts, deletes, fmt.Errorf("store: mutation %d: %w", i, err)
+			}
+			deletes++
+		case MutCommit:
+			if err := s.Commit(); err != nil {
+				return inserts, deletes, fmt.Errorf("store: mutation %d: %w", i, err)
+			}
+		}
+	}
+	return inserts, deletes, s.Commit()
+}
+
+// SplitEdges separates a mutation stream into the insert and delete
+// edge lists refine.ApplyUpdates consumes (commit markers are batch
+// framing only).
+func SplitEdges(muts []Mutation) (inserts, deletes []graph.Edge) {
+	for _, m := range muts {
+		switch m.Kind {
+		case MutInsert:
+			inserts = append(inserts, graph.Edge{Src: m.U, Dst: m.V})
+		case MutDelete:
+			deletes = append(deletes, graph.Edge{Src: m.U, Dst: m.V})
+		}
+	}
+	return inserts, deletes
+}

@@ -33,6 +33,10 @@ func main() {
 	faultSpec := flag.String("faults", "", `fault schedule injected into every engine run: grammar spec or "rand:N" (costs are unchanged by design)`)
 	jsonPath := flag.String("json", "", "run the engine/partition perf suite and write the machine-readable report (e.g. BENCH_4.json) to this path, then exit")
 	against := flag.String("against", "", "with -json: compare engine_run ns/op against this prior report and exit 1 on a >20% regression")
+	serveLoad := flag.Bool("serve-load", false, "run the serving-plane load measurement (boots adserve's daemon on loopback, drives mixed /run+/vertex traffic) and exit")
+	serveDur := flag.Duration("serve-duration", 0, "with -serve-load: duration per phase (default 2s)")
+	serveQPS := flag.Float64("serve-qps", 0, "with -serve-load: open-loop target QPS (default 1000)")
+	serveWorkers := flag.Int("serve-workers", 0, "with -serve-load: client concurrency (default 16)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	flag.Usage = usage
@@ -46,6 +50,25 @@ func main() {
 		os.Exit(1)
 	}
 	defer stopProf()
+	if *serveLoad {
+		res, err := bench.ServeLoad(bench.ServeLoadConfig{
+			Duration:  *serveDur,
+			TargetQPS: *serveQPS,
+			Workers:   *serveWorkers,
+			Seed:      *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("open loop, no writer:   %s\n", res.Open)
+		fmt.Printf("open loop, with writer: %s\n", res.OpenWriter)
+		fmt.Printf("closed loop (max QPS):  %s\n", res.Closed)
+		if ratio := float64(res.OpenWriter.ReadP99) / float64(res.Open.ReadP99); res.Open.ReadP99 > 0 {
+			fmt.Printf("writer impact on read p99: %.2fx\n", ratio)
+		}
+		return
+	}
 	if *jsonPath != "" {
 		rep, err := bench.Perf()
 		if err != nil {
@@ -144,6 +167,11 @@ identical for every value; only wall time changes.
 machine-readable benchmark report (ns/op, allocs/op, speedup vs the
 pinned pre-change baselines) to PATH; -against PRIOR then gates
 engine_run ns/op at +20% of the prior report, exiting 1 on regression.
+-serve-load runs the serving-plane load measurement instead: it boots
+the adserve daemon over the reference graph on a loopback listener and
+drives mixed /run+/vertex traffic in three phases (open loop without
+and with a concurrent /updates writer, then closed-loop saturation);
+-serve-duration, -serve-qps and -serve-workers shape it.
 -cpuprofile / -memprofile write runtime/pprof CPU and heap profiles.
 -faults injects a deterministic fault schedule (grammar spec or
 "rand:N", drawn from -seed) into every engine run; checkpoint/recovery

@@ -62,6 +62,16 @@ type PerfReport struct {
 	// parallelMigrate superstep on warmed per-run scratch; the flat
 	// probe plane keeps it at zero.
 	ProbeSuperstepAllocs float64 `json:"probe_superstep_allocs"`
+	// ServeQPS is the closed-loop mixed-traffic throughput of the
+	// serving daemon on the reference graph (the ≥1000 QPS acceptance
+	// floor of the serving plane).
+	ServeQPS float64 `json:"serve_qps"`
+	// ServeReadP99Ms / ServeReadP99NoWriterMs are the open-loop vertex
+	// read p99 latencies with and without a concurrent /updates writer
+	// swapping epochs — writers must never block readers, so the first
+	// stays within 2x of the second.
+	ServeReadP99Ms         float64 `json:"serve_read_p99_ms"`
+	ServeReadP99NoWriterMs float64 `json:"serve_read_p99_nowriter_ms"`
 }
 
 // engineRunBaseline is the pre-flat-data-plane BenchmarkEngineRun
@@ -295,6 +305,13 @@ func Perf() (*PerfReport, error) {
 	if d := long - short; d > 0 {
 		rep.SteadyStateAllocsPerSuperstep = d / 56 // 2 supersteps per extra PR iteration
 	}
+
+	// Serving plane: mixed-traffic throughput and read tail latency of
+	// the adserve daemon over this same reference graph, with and
+	// without a concurrent writer swapping epochs.
+	if err := addServeSeries(rep, ServeLoadConfig{}); err != nil {
+		return nil, err
+	}
 	return rep, nil
 }
 
@@ -474,6 +491,11 @@ func (r *PerfReport) Summary() string {
 			refNs = res.NsPerOp
 		}
 	}
-	return fmt.Sprintf("engine_run %.1fms/op (%.2fx vs pre-CSR baseline), refine_e2h %.1fms/op (%.2fx vs map-backed baseline), %.2f allocs/superstep steady-state, %.2f allocs/probe-superstep",
+	s := fmt.Sprintf("engine_run %.1fms/op (%.2fx vs pre-CSR baseline), refine_e2h %.1fms/op (%.2fx vs map-backed baseline), %.2f allocs/superstep steady-state, %.2f allocs/probe-superstep",
 		engNs/1e6, r.EngineRunSpeedup, refNs/1e6, r.RefineE2HSpeedup, r.SteadyStateAllocsPerSuperstep, r.ProbeSuperstepAllocs)
+	if r.ServeQPS > 0 {
+		s += fmt.Sprintf(", serve %.0f QPS (read p99 %.2fms writer / %.2fms no-writer)",
+			r.ServeQPS, r.ServeReadP99Ms, r.ServeReadP99NoWriterMs)
+	}
+	return s
 }

@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"adp/internal/composite"
+	"adp/internal/costmodel"
+	"adp/internal/gen"
+	"adp/internal/partition"
+	"adp/internal/partitioner"
+	"adp/internal/serve"
+	"adp/internal/store"
+)
+
+// ServeLoadConfig shapes the serving-plane load measurement.
+type ServeLoadConfig struct {
+	// Duration per phase (three phases run). Default 2s.
+	Duration time.Duration
+	// Workers is the client concurrency. Default 16.
+	Workers int
+	// TargetQPS paces the two open-loop phases. Default 1000 — the
+	// acceptance floor for mixed traffic on the reference graph.
+	TargetQPS float64
+	// RunFraction of requests that are POST /run (the rest are vertex
+	// reads). Default 0.02.
+	RunFraction float64
+	Seed        int64
+}
+
+func (c *ServeLoadConfig) fill() {
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = 16
+	}
+	if c.TargetQPS <= 0 {
+		c.TargetQPS = 1000
+	}
+	if c.RunFraction <= 0 {
+		c.RunFraction = 0.02
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// ServeLoadResult carries the three measured phases.
+type ServeLoadResult struct {
+	// Open is the open-loop phase at TargetQPS with no writer — the
+	// honest read-latency baseline.
+	Open *serve.LoadResult
+	// OpenWriter repeats it with a background /updates mutator swapping
+	// epochs under the readers.
+	OpenWriter *serve.LoadResult
+	// Closed is the closed-loop saturation phase (max mixed QPS).
+	Closed *serve.LoadResult
+}
+
+// ServeLoad boots a serving daemon over the reference benchmark graph
+// (PowerLaw N=6000, the engine_run workload) on a loopback listener and
+// drives the three-phase load measurement against it.
+func ServeLoad(cfg ServeLoadConfig) (*ServeLoadResult, error) {
+	cfg.fill()
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 6000, AvgDeg: 8, Exponent: 2.1, Directed: true, Seed: 23})
+	p1, err := partitioner.HashEdgeCut(g, 8)
+	if err != nil {
+		return nil, err
+	}
+	assign := make([]int, g.NumVertices())
+	for v := range assign {
+		assign[v] = (v + 1) % 8
+	}
+	p2, err := partition.FromVertexAssignment(g, assign, 8)
+	if err != nil {
+		return nil, err
+	}
+	comp, err := composite.New(g, []*partition.Partition{p1, p2})
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "adp-bench-serve-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Create(dir, comp, store.Options{SyncEvery: 8})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := serve.New(st, serve.Config{SessionsPerAlgo: 4, MaxInflight: 256, UpdateQueue: 64})
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv.Start(l)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+	}()
+	url := "http://" + l.Addr().String()
+
+	base := serve.LoadConfig{
+		Duration:    cfg.Duration,
+		Workers:     cfg.Workers,
+		RunFraction: cfg.RunFraction,
+		Algos:       []costmodel.Algo{costmodel.WCC},
+		Seed:        cfg.Seed,
+	}
+	res := &ServeLoadResult{}
+
+	open := base
+	open.TargetQPS = cfg.TargetQPS
+	if res.Open, err = serve.RunLoad(url, g, open); err != nil {
+		return nil, err
+	}
+	withWriter := open
+	withWriter.Writer = true
+	withWriter.WriterEvery = 10 * time.Millisecond
+	withWriter.Seed = cfg.Seed + 1
+	if res.OpenWriter, err = serve.RunLoad(url, g, withWriter); err != nil {
+		return nil, err
+	}
+	closed := base
+	closed.Seed = cfg.Seed + 2
+	if res.Closed, err = serve.RunLoad(url, g, closed); err != nil {
+		return nil, err
+	}
+	if res.Closed.Errors > 0 || res.Open.Errors > 0 || res.OpenWriter.Errors > 0 {
+		return nil, fmt.Errorf("bench: serve load saw request errors (%d/%d/%d)",
+			res.Open.Errors, res.OpenWriter.Errors, res.Closed.Errors)
+	}
+	return res, nil
+}
+
+// addServeSeries folds the serving measurement into the perf report:
+// serve_qps (mean ns per request at closed-loop saturation, i.e.
+// 1e9/QPS), serve_p99 (open-loop read p99 with a concurrent writer) and
+// serve_p99_nowriter (the no-writer baseline the 2x gate compares
+// against).
+func addServeSeries(rep *PerfReport, cfg ServeLoadConfig) error {
+	res, err := ServeLoad(cfg)
+	if err != nil {
+		return err
+	}
+	if res.Closed.QPS > 0 {
+		rep.Results = append(rep.Results, PerfResult{Name: "serve_qps", NsPerOp: 1e9 / res.Closed.QPS})
+	}
+	rep.Results = append(rep.Results,
+		PerfResult{Name: "serve_p99", NsPerOp: float64(res.OpenWriter.ReadP99)},
+		PerfResult{Name: "serve_p99_nowriter", NsPerOp: float64(res.Open.ReadP99)},
+	)
+	rep.ServeQPS = res.Closed.QPS
+	rep.ServeReadP99Ms = float64(res.OpenWriter.ReadP99) / 1e6
+	rep.ServeReadP99NoWriterMs = float64(res.Open.ReadP99) / 1e6
+	return nil
+}

@@ -233,6 +233,31 @@ func (c *Composite) InsertEdge(u, v graph.VertexID, dest []int) error {
 	return nil
 }
 
+// Clone returns a deep copy sharing only the immutable graph: every
+// bundled partition is cloned and the coherence index is copied rather
+// than rebuilt (mutation order is preserved, so a clone's adjacency is
+// bitwise the original's). The serving plane clones the store's live
+// composite to publish immutable epoch snapshots.
+func (c *Composite) Clone() *Composite {
+	out := &Composite{
+		g: c.g, n: c.n, k: c.k,
+		parts:    make([]*partition.Partition, c.k),
+		coreArcs: append([]int(nil), c.coreArcs...),
+		index:    make([]map[uint64]indexEntry, c.n),
+	}
+	for j, p := range c.parts {
+		out.parts[j] = p.Clone()
+	}
+	for i, m := range c.index {
+		nm := make(map[uint64]indexEntry, len(m))
+		for k, e := range m {
+			nm[k] = e
+		}
+		out.index[i] = nm
+	}
+	return out
+}
+
 // Validate checks every bundled partition plus index consistency.
 // It assumes the composite still matches the graph it was built from;
 // after coherent updates (InsertEdge/DeleteEdge) use ValidateIndex,

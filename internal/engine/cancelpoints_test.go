@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"adp/internal/pool"
+)
+
+// cutoffCtx is a context whose Err() flips to context.Canceled from
+// the cutoff-th probe onward (and stays cancelled). The engine and the
+// pool observe cancellation exclusively through Err(), so sweeping the
+// cutoff over every probe index of a clean run exercises every
+// cancellation point a real context could fire at — including the
+// harvest-phase check — deterministically.
+type cutoffCtx struct {
+	context.Context
+	calls  atomic.Int64
+	cutoff int64
+}
+
+func (c *cutoffCtx) Err() error {
+	if c.calls.Add(1) > c.cutoff {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestRunCtxCancellationPointSweep is the table test over cancellation
+// points: for every context-observation index of a clean run, a run
+// cancelled exactly there must either succeed with the full report
+// (the cancellation landed after the convergence return) or return a
+// *FailedRunError wrapping context.Canceled whose Report is the
+// returned report and matches, bitwise, the same program truncated to
+// the same number of completed supersteps. Serial pool, so the probe
+// sequence is deterministic.
+func TestRunCtxCancellationPointSweep(t *testing.T) {
+	const rounds = 5
+	build := func() (*Cluster, func(*WorkerCtx), StepFunc) {
+		c := testCluster(t, 3).UsePool(pool.Serial())
+		init, step := ringProgram(rounds)
+		return c, init, step
+	}
+
+	// Clean run: the convergence profile and the total probe count.
+	probe := &cutoffCtx{Context: context.Background(), cutoff: 1 << 40}
+	c, init, step := build()
+	full, err := c.RunCtx(probe, init, step, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := probe.calls.Load()
+	if full.Supersteps < 3 {
+		t.Fatalf("clean run converged in %d supersteps; program too short to sweep", full.Supersteps)
+	}
+
+	// expected[k] is the bitwise report of the same program after
+	// exactly k completed supersteps — obtained by exhausting a budget
+	// of k, which runs supersteps 0..k-1 in full (compute, delivery,
+	// accounting) and then stops, exactly like a cancelled run that
+	// discarded its partial superstep.
+	expected := make([]*Report, full.Supersteps)
+	for k := 1; k < full.Supersteps; k++ {
+		c, init, step := build()
+		rep, err := c.RunCtx(context.Background(), init, step, k)
+		var fre *FailedRunError
+		if !errors.As(err, &fre) {
+			t.Fatalf("budget %d: err = %v, want *FailedRunError (non-convergence)", k, err)
+		}
+		expected[k] = rep
+	}
+
+	for cut := int64(0); cut <= probes; cut++ {
+		ctx := &cutoffCtx{Context: context.Background(), cutoff: cut}
+		c, init, step := build()
+		rep, err := c.RunCtx(ctx, init, step, 100)
+		if err == nil {
+			// Converged before the cutoff was observed: must be the
+			// complete run, bitwise.
+			compareReports(t, cut, rep, full)
+			continue
+		}
+		var fre *FailedRunError
+		if !errors.As(err, &fre) {
+			t.Fatalf("cutoff %d: err = %v, want *FailedRunError", cut, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cutoff %d: err = %v does not unwrap to context.Canceled", cut, err)
+		}
+		if fre.Report != rep {
+			t.Fatalf("cutoff %d: error carries a different report than the return value", cut)
+		}
+		k := rep.Supersteps
+		if k >= full.Supersteps {
+			t.Fatalf("cutoff %d: cancelled run reports %d supersteps, clean run has %d", cut, k, full.Supersteps)
+		}
+		if k == 0 {
+			for i, w := range rep.Work {
+				if w != 0 || rep.MsgCount[i] != 0 || rep.MsgBytes[i] != 0 {
+					t.Fatalf("cutoff %d: zero-superstep report carries accounting: %+v", cut, rep)
+				}
+			}
+			continue
+		}
+		compareReports(t, cut, rep, expected[k])
+	}
+}
+
+// compareReports asserts bitwise equality of every deterministic
+// report field (WallTime and the fault diagnostics are excluded by the
+// determinism contract).
+func compareReports(t *testing.T, cut int64, got, want *Report) {
+	t.Helper()
+	if got.Supersteps != want.Supersteps {
+		t.Fatalf("cutoff %d: Supersteps = %d, want %d", cut, got.Supersteps, want.Supersteps)
+	}
+	if got.CriticalWork != want.CriticalWork || got.CriticalBytes != want.CriticalBytes {
+		t.Fatalf("cutoff %d: critical path (%v, %v), want (%v, %v)",
+			cut, got.CriticalWork, got.CriticalBytes, want.CriticalWork, want.CriticalBytes)
+	}
+	for i := range got.Work {
+		if got.Work[i] != want.Work[i] {
+			t.Fatalf("cutoff %d: Work[%d] = %v, want %v", cut, i, got.Work[i], want.Work[i])
+		}
+		if got.MsgCount[i] != want.MsgCount[i] || got.MsgBytes[i] != want.MsgBytes[i] {
+			t.Fatalf("cutoff %d: wire accounting of worker %d diverges: (%d, %d) vs (%d, %d)",
+				cut, i, got.MsgCount[i], got.MsgBytes[i], want.MsgCount[i], want.MsgBytes[i])
+		}
+	}
+}
+
+// TestRunCtxCancelDuringHarvestTyped pins the harvest-phase exit path
+// specifically: a context that first reports cancellation on the probe
+// immediately after a full compute fan-out must still produce the
+// typed wrapper, with the just-completed superstep fully accounted.
+func TestRunCtxCancelDuringHarvestTyped(t *testing.T) {
+	// With a serial pool and n workers, one superstep probes the
+	// context: once at the top of the loop, once per chunk claim, once
+	// at the fan-out return, and once at the harvest check. Sweeping
+	// the cutoff across the whole first superstep necessarily includes
+	// the post-fan-out (harvest) probe; this test just asserts the
+	// contract for each of them without depending on exact indices.
+	const n = 3
+	for cut := int64(1); cut <= n+3; cut++ {
+		c := testCluster(t, n).UsePool(pool.Serial())
+		init, step := ringProgram(4)
+		ctx := &cutoffCtx{Context: context.Background(), cutoff: cut}
+		rep, err := c.RunCtx(ctx, init, step, 100)
+		var fre *FailedRunError
+		if !errors.As(err, &fre) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("cutoff %d: err = %v, want FailedRunError wrapping Canceled", cut, err)
+		}
+		if fre.Report != rep || rep.Supersteps > 1 {
+			t.Fatalf("cutoff %d: rep=%+v fre.Report==rep=%v", cut, rep, fre.Report == rep)
+		}
+	}
+}

@@ -241,7 +241,12 @@ func (c *Cluster) Run(init func(w *WorkerCtx), step StepFunc, maxSupersteps int)
 // at superstep barriers (and between chunk claims inside the compute
 // fan-out), so a deadline or Ctrl-C returns within one barrier with
 // the partial Report and zero leaked goroutines — the pool's helpers
-// are long-lived and simply go idle.
+// are long-lived and simply go idle. The typed-error contract holds on
+// every exit path: a non-nil error is always a *FailedRunError whose
+// Report is the returned (partial) report, covering exactly the
+// completed supersteps — a run that converges in the same barrier a
+// cancellation lands in still returns success. The cancellation-point
+// sweep test locks both properties in for every observation point.
 //
 // When Options arms an Injector or CheckpointEvery, RunCtx snapshots
 // barrier state (worker State via Snapshotter, in-flight inboxes,
@@ -480,6 +485,17 @@ func (c *Cluster) RunCtx(ctx context.Context, init func(w *WorkerCtx), step Step
 		if allHalt && !inflight {
 			rep.WallTime = time.Since(start)
 			return rep, nil
+		}
+		// The harvest phase (critical-path collection, delivery,
+		// accounting) runs cancellation-blind so a completed superstep
+		// is always accounted in full; a cancellation landing during it
+		// is observed here, inside the same barrier. Without this check
+		// the run would continue into the next superstep's checkpoint
+		// before noticing, and the typed-error contract — every non-nil
+		// error is a *FailedRunError — would rest on the top-of-loop
+		// check alone.
+		if err := ctx.Err(); err != nil {
+			return fail("cancelled during harvest", err)
 		}
 	}
 	return fail(fmt.Sprintf("no convergence within %d supersteps", maxSupersteps), nil)

@@ -1,0 +1,382 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"adp/internal/algorithms"
+	"adp/internal/costmodel"
+	"adp/internal/engine"
+	"adp/internal/graph"
+	"adp/internal/store"
+)
+
+// Handler returns the server's HTTP face:
+//
+//	POST /run          run an algorithm over the pinned epoch
+//	GET  /vertex/{id}  point/neighborhood lookup against one epoch
+//	GET  /metrics      partition, cost-model and server statistics
+//	POST /updates      durable mutation batch (update-stream grammar)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /run", s.handleRun)
+	mux.HandleFunc("GET /vertex/{id}", s.handleVertex)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /updates", s.handleUpdates)
+	return mux
+}
+
+// errorBody is the uniform error envelope: class is the machine-
+// matchable failure taxonomy (bad_request, overloaded, draining,
+// timeout, cancelled, failed_run, store_failed, internal).
+type errorBody struct {
+	Error      string `json:"error"`
+	Class      string `json:"class"`
+	Reason     string `json:"reason,omitempty"`
+	Supersteps int    `json:"supersteps,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, class, msg string) {
+	writeJSON(w, status, errorBody{Error: msg, Class: class})
+}
+
+func parseAlgo(s string) (costmodel.Algo, bool) {
+	for _, a := range costmodel.Algos() {
+		if strings.EqualFold(a.String(), s) {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+// runRequest is the POST /run body.
+type runRequest struct {
+	Algo string `json:"algo"`
+	// TimeoutMS overrides the server's default per-request deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Algorithm knobs (same meaning as algorithms.Options).
+	Theta      int    `json:"theta,omitempty"`      // CN in-degree filter
+	Source     uint32 `json:"source,omitempty"`     // SSSP source
+	Iterations int    `json:"iterations,omitempty"` // PR iterations
+}
+
+// runResponse carries the Outcome plus the deterministic Report
+// fields. Every float64 survives the JSON round trip bitwise (Go
+// emits the shortest representation that parses back exactly), so the
+// isolation tests compare these against offline runs directly.
+type runResponse struct {
+	Epoch         uint64  `json:"epoch"`
+	Algo          string  `json:"algo"`
+	Value         float64 `json:"value"`
+	Checksum      uint64  `json:"checksum"`
+	Supersteps    int     `json:"supersteps"`
+	CriticalWork  float64 `json:"critical_work"`
+	CriticalBytes float64 `json:"critical_bytes"`
+	MsgBytes      int64   `json:"msg_bytes"`
+	Recoveries    int     `json:"recoveries"`
+	WallMS        float64 `json:"wall_ms"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	var req runRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", "decoding body: "+err.Error())
+		return
+	}
+	algo, ok := parseAlgo(req.Algo)
+	if !ok {
+		writeErr(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("unknown algorithm %q", req.Algo))
+		return
+	}
+	// Admission: bounded in-flight run work, reject-don't-queue beyond
+	// the session-pool wait.
+	select {
+	case s.admit <- struct{}{}:
+	default:
+		s.rejected.Add(1)
+		writeErr(w, http.StatusTooManyRequests, "overloaded", "run admission limit reached")
+		return
+	}
+	defer func() { <-s.admit }()
+	s.served.Add(1)
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancelTO := context.WithTimeout(r.Context(), timeout)
+	defer cancelTO()
+
+	ep := s.pin()
+	defer ep.unpin()
+	sp := ep.pools[algoIndex(algo)]
+	sess, err := sp.acquire(ctx)
+	if err != nil {
+		s.runFailures.Add(1)
+		s.writeRunErr(w, err, nil)
+		return
+	}
+	opts := engine.Options{MaxSupersteps: s.cfg.MaxSupersteps, Context: ctx}
+	if s.cfg.RunInjector != nil {
+		opts.Injector = s.cfg.RunInjector.Clone()
+	}
+	sess.Configure(opts)
+	out, err := algorithms.Run(sess, algo, algorithms.Options{
+		CNTheta:      req.Theta,
+		SSSPSource:   graph.VertexID(req.Source),
+		PRIterations: req.Iterations,
+	})
+	sp.release(sess)
+	if err != nil {
+		s.runFailures.Add(1)
+		s.writeRunErr(w, err, out.Report)
+		return
+	}
+	writeJSON(w, http.StatusOK, runResponse{
+		Epoch:         ep.seq,
+		Algo:          algo.String(),
+		Value:         out.Value,
+		Checksum:      out.Checksum,
+		Supersteps:    out.Report.Supersteps,
+		CriticalWork:  out.Report.CriticalWork,
+		CriticalBytes: out.Report.CriticalBytes,
+		MsgBytes:      out.Report.TotalMsgBytes(),
+		Recoveries:    out.Report.Recoveries,
+		WallMS:        float64(out.Report.WallTime) / float64(time.Millisecond),
+	})
+}
+
+// writeRunErr maps the engine's typed failure onto a status code:
+// deadline → 504, cancellation (client gone or drain) → 503,
+// any other *FailedRunError (non-convergence, exhausted recovery
+// budget) → 422, everything else → 500.
+func (s *Server) writeRunErr(w http.ResponseWriter, err error, rep *engine.Report) {
+	body := errorBody{Error: err.Error()}
+	var fre *engine.FailedRunError
+	if errors.As(err, &fre) {
+		body.Reason = fre.Reason
+		if fre.Report != nil {
+			body.Supersteps = fre.Report.Supersteps
+		}
+	} else if rep != nil {
+		body.Supersteps = rep.Supersteps
+	}
+	status := http.StatusInternalServerError
+	body.Class = "internal"
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		status, body.Class = http.StatusGatewayTimeout, "timeout"
+	case errors.Is(err, context.Canceled):
+		status, body.Class = http.StatusServiceUnavailable, "cancelled"
+	case fre != nil:
+		status, body.Class = http.StatusUnprocessableEntity, "failed_run"
+	}
+	writeJSON(w, status, body)
+}
+
+// vertexPlacement is one bundled partition's view of a vertex.
+type vertexPlacement struct {
+	Copies    []int    `json:"copies"`
+	Master    int      `json:"master"`
+	Status    []string `json:"status"` // per copy, same order as copies
+	OutDegree int      `json:"out_degree"`
+	InDegree  int      `json:"in_degree"`
+	Out       []uint32 `json:"out"`
+}
+
+type vertexResponse struct {
+	Epoch      uint64            `json:"epoch"`
+	Vertex     uint32            `json:"vertex"`
+	Partitions []vertexPlacement `json:"partitions"`
+}
+
+func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 32)
+	if err != nil || int64(id) >= int64(s.g.NumVertices()) {
+		writeErr(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("vertex %q out of range [0,%d)", r.PathValue("id"), s.g.NumVertices()))
+		return
+	}
+	v := graph.VertexID(id)
+	ep := s.pin()
+	defer ep.unpin()
+	resp := vertexResponse{Epoch: ep.seq, Vertex: uint32(id)}
+	for _, p := range ep.comp.Partitions() {
+		pl := vertexPlacement{Master: p.Master(v)}
+		for _, c := range p.Copies(v) {
+			pl.Copies = append(pl.Copies, int(c))
+			pl.Status = append(pl.Status, p.Status(int(c), v).String())
+		}
+		// Degrees and neighborhood come from the complete copy when one
+		// exists (it holds every incident arc), else the master copy —
+		// deterministic, and purely a function of the pinned epoch.
+		at := p.CompleteFragment(v)
+		if at < 0 {
+			at = p.Master(v)
+		}
+		if adj := p.Fragment(at).Adjacency(v); adj != nil {
+			pl.OutDegree = len(adj.Out)
+			pl.InDegree = len(adj.In)
+			pl.Out = make([]uint32, len(adj.Out))
+			for i, u := range adj.Out {
+				pl.Out[i] = uint32(u)
+			}
+		}
+		resp.Partitions = append(resp.Partitions, pl)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type algoMetrics struct {
+	Algo         string  `json:"algo"`
+	Partition    int     `json:"partition"`
+	FV           float64 `json:"fv"`
+	FE           float64 `json:"fe"`
+	LambdaV      float64 `json:"lambda_v"`
+	LambdaE      float64 `json:"lambda_e"`
+	ParallelCost float64 `json:"parallel_cost"`
+	LambdaCost   float64 `json:"lambda_cost"`
+}
+
+type metricsResponse struct {
+	Epoch       uint64        `json:"epoch"`
+	EpochLSN    uint64        `json:"epoch_lsn"`
+	Pinned      int64         `json:"pinned"`
+	K           int           `json:"k"`
+	N           int           `json:"n"`
+	FC          float64       `json:"fc"`
+	StorageArcs int           `json:"storage_arcs"`
+	Algorithms  []algoMetrics `json:"algorithms"`
+	Store       storeMetrics  `json:"store"`
+	Server      serverMetrics `json:"server"`
+}
+
+type storeMetrics struct {
+	LSN       uint64 `json:"lsn"`
+	Committed int64  `json:"committed_mutations"`
+	Failed    bool   `json:"write_path_failed"`
+}
+
+type serverMetrics struct {
+	Inflight       int   `json:"inflight_runs"`
+	Served         int64 `json:"runs_served"`
+	Rejected       int64 `json:"runs_rejected"`
+	RunFailures    int64 `json:"run_failures"`
+	EpochSwaps     int64 `json:"epoch_swaps"`
+	UpdatesApplied int64 `json:"updates_applied"`
+	Draining       bool  `json:"draining"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	ep := s.pin()
+	defer ep.unpin()
+	met, cost, lambda := ep.metrics()
+	resp := metricsResponse{
+		Epoch:       ep.seq,
+		EpochLSN:    ep.lsn,
+		Pinned:      ep.pins.Load(),
+		K:           ep.comp.K(),
+		N:           ep.comp.N(),
+		FC:          ep.comp.FC(),
+		StorageArcs: ep.comp.StorageArcs(),
+		Store: storeMetrics{
+			LSN:       s.lastLSN.Load(),
+			Committed: s.committed.Load(),
+			Failed:    s.storeFailed.Load(),
+		},
+		Server: serverMetrics{
+			Inflight:       len(s.admit),
+			Served:         s.served.Load(),
+			Rejected:       s.rejected.Load(),
+			RunFailures:    s.runFailures.Load(),
+			EpochSwaps:     s.epochSwaps.Load(),
+			UpdatesApplied: s.updatesApplied.Load(),
+			Draining:       s.draining.Load(),
+		},
+	}
+	for i, a := range costmodel.Algos() {
+		j := i % ep.comp.K()
+		resp.Algorithms = append(resp.Algorithms, algoMetrics{
+			Algo: a.String(), Partition: j,
+			FV: met[j].FV, FE: met[j].FE,
+			LambdaV: met[j].LambdaV, LambdaE: met[j].LambdaE,
+			ParallelCost: cost[i], LambdaCost: lambda[i],
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// updatesResponse acks a durable batch. Epoch is the snapshot the
+// batch became visible in; 0 means the batch committed durably but a
+// later batch in the same wave poisoned the store before publish.
+type updatesResponse struct {
+	Epoch    uint64 `json:"epoch"`
+	LSN      uint64 `json:"lsn"`
+	Inserts  int    `json:"inserts"`
+	Deletes  int    `json:"deletes"`
+	Durable  bool   `json:"durable"`
+	Visible  bool   `json:"visible"`
+	Mutation int    `json:"mutations"`
+}
+
+func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	if s.storeFailed.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "store_failed", "store write path failed; restart to recover")
+		return
+	}
+	muts, err := store.ParseUpdates(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	if len(muts) == 0 {
+		writeErr(w, http.StatusBadRequest, "bad_request", "empty update stream")
+		return
+	}
+	b := &updateBatch{muts: muts, reply: make(chan updateResult, 1)}
+	select {
+	case s.updates <- b:
+	default:
+		s.rejected.Add(1)
+		writeErr(w, http.StatusTooManyRequests, "overloaded", "update queue full")
+		return
+	}
+	// The apply loop always replies (the reply channel is buffered, so
+	// even an abandoned request cannot block it); waiting here keeps
+	// the ack strictly after the durable commit.
+	res := <-b.reply
+	if res.err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: res.err.Error(), Class: "store_failed"})
+		return
+	}
+	writeJSON(w, http.StatusOK, updatesResponse{
+		Epoch:    res.epoch,
+		LSN:      res.lsn,
+		Inserts:  res.inserts,
+		Deletes:  res.deletes,
+		Durable:  true,
+		Visible:  res.epoch != 0,
+		Mutation: res.inserts + res.deletes,
+	})
+}

@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adp/internal/costmodel"
+	"adp/internal/graph"
+)
+
+// LoadConfig shapes one load-generation run against a serving daemon.
+type LoadConfig struct {
+	// Duration of the measurement window.
+	Duration time.Duration
+	// Workers is the number of concurrent clients (closed loop: each
+	// issues its next request as soon as the previous one answers).
+	Workers int
+	// TargetQPS > 0 switches to an open loop: the workers collectively
+	// pace request starts at this aggregate rate regardless of
+	// response latency, the honest way to measure tail latency.
+	TargetQPS float64
+	// RunFraction of requests are POST /run; the rest GET /vertex.
+	RunFraction float64
+	// Algos to draw /run requests from (defaults to WCC).
+	Algos []costmodel.Algo
+	// RunTimeout is the timeout_ms sent with each /run.
+	RunTimeout time.Duration
+	// Writer, when true, runs a background mutator posting delete+
+	// re-insert batches to /updates every WriterEvery, swapping epochs
+	// under the readers.
+	Writer      bool
+	WriterEvery time.Duration
+	Seed        int64
+}
+
+func (c *LoadConfig) fill() {
+	if c.Duration <= 0 {
+		c.Duration = 3 * time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if len(c.Algos) == 0 {
+		c.Algos = []costmodel.Algo{costmodel.WCC}
+	}
+	if c.RunTimeout <= 0 {
+		c.RunTimeout = 10 * time.Second
+	}
+	if c.WriterEvery <= 0 {
+		c.WriterEvery = 20 * time.Millisecond
+	}
+}
+
+// LoadResult aggregates one load run.
+type LoadResult struct {
+	Requests int64         `json:"requests"`
+	Runs     int64         `json:"runs"`
+	Reads    int64         `json:"reads"`
+	Errors   int64         `json:"errors"`
+	Rejected int64         `json:"rejected"` // 429 backpressure, not errors
+	Updates  int64         `json:"update_batches"`
+	Wall     time.Duration `json:"wall_ns"`
+	QPS      float64       `json:"qps"`
+	ReadP50  time.Duration `json:"read_p50_ns"`
+	ReadP99  time.Duration `json:"read_p99_ns"`
+	RunP50   time.Duration `json:"run_p50_ns"`
+	RunP99   time.Duration `json:"run_p99_ns"`
+}
+
+func (r *LoadResult) String() string {
+	return fmt.Sprintf("%d req in %v (%.0f QPS; %d runs, %d reads, %d rejected, %d errors, %d update batches) read p50=%v p99=%v run p50=%v p99=%v",
+		r.Requests, r.Wall.Round(time.Millisecond), r.QPS, r.Runs, r.Reads, r.Rejected, r.Errors, r.Updates,
+		r.ReadP50.Round(time.Microsecond), r.ReadP99.Round(time.Microsecond),
+		r.RunP50.Round(time.Microsecond), r.RunP99.Round(time.Microsecond))
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// RunLoad drives baseURL with mixed /run + /vertex traffic for
+// cfg.Duration and reports throughput and latency percentiles. The
+// graph is only consulted for vertex-ID ranges and writer-safe edges.
+func RunLoad(baseURL string, g *graph.Graph, cfg LoadConfig) (*LoadResult, error) {
+	cfg.fill()
+	tr := &http.Transport{MaxIdleConns: cfg.Workers * 2, MaxIdleConnsPerHost: cfg.Workers * 2}
+	client := &http.Client{Transport: tr, Timeout: cfg.RunTimeout + 5*time.Second}
+	defer tr.CloseIdleConnections()
+
+	nv := int64(g.NumVertices())
+	res := &LoadResult{}
+	var errs, rejected, updates atomic.Int64
+
+	stop := make(chan struct{})
+	var writerWG sync.WaitGroup
+	if cfg.Writer {
+		// Writer-safe edges: delete+re-insert of an existing edge whose
+		// endpoints keep positive base out-degree (PR divides by base
+		// out-degree, so never materialize arcs at zero-out-degree
+		// sources).
+		type edge struct{ u, v graph.VertexID }
+		var safe []edge
+		g.Edges(func(u, v graph.VertexID) bool {
+			if g.OutDegree(u) > 0 && g.OutDegree(v) > 0 {
+				safe = append(safe, edge{u, v})
+			}
+			return len(safe) < 4096
+		})
+		if len(safe) == 0 {
+			return nil, fmt.Errorf("serve: no writer-safe edges in graph")
+		}
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			i := 0
+			tick := time.NewTicker(cfg.WriterEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+				}
+				e := safe[i%len(safe)]
+				i++
+				body := fmt.Sprintf("- %d %d\n+ %d %d\ncommit\n", e.u, e.v, e.u, e.v)
+				resp, err := client.Post(baseURL+"/updates", "text/plain", bytes.NewBufferString(body))
+				if err != nil {
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					updates.Add(1)
+				}
+			}
+		}()
+	}
+
+	type sample struct {
+		run bool
+		lat time.Duration
+	}
+	perWorker := make([][]sample, cfg.Workers)
+	var interval time.Duration
+	if cfg.TargetQPS > 0 {
+		interval = time.Duration(float64(time.Second) * float64(cfg.Workers) / cfg.TargetQPS)
+	}
+
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			next := start
+			for {
+				now := time.Now()
+				if now.After(deadline) {
+					return
+				}
+				if interval > 0 {
+					// Open loop: pace starts; never skip a slot, only
+					// shift it when we fall behind (coordinated-omission
+					// honest enough for a local daemon).
+					if d := next.Sub(now); d > 0 {
+						time.Sleep(d)
+					}
+					next = next.Add(interval)
+				}
+				isRun := rng.Float64() < cfg.RunFraction
+				t0 := time.Now()
+				var status int
+				var err error
+				if isRun {
+					algo := cfg.Algos[rng.Intn(len(cfg.Algos))]
+					b, _ := json.Marshal(runRequest{Algo: algo.String(), TimeoutMS: cfg.RunTimeout.Milliseconds()})
+					var resp *http.Response
+					resp, err = client.Post(baseURL+"/run", "application/json", bytes.NewReader(b))
+					if err == nil {
+						status = resp.StatusCode
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				} else {
+					var resp *http.Response
+					resp, err = client.Get(fmt.Sprintf("%s/vertex/%d", baseURL, rng.Int63n(nv)))
+					if err == nil {
+						status = resp.StatusCode
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}
+				lat := time.Since(t0)
+				switch {
+				case err != nil:
+					errs.Add(1)
+				case status == http.StatusTooManyRequests:
+					rejected.Add(1)
+				case status != http.StatusOK:
+					errs.Add(1)
+				default:
+					perWorker[w] = append(perWorker[w], sample{run: isRun, lat: lat})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.Wall = time.Since(start)
+	close(stop)
+	writerWG.Wait()
+
+	var runLat, readLat []time.Duration
+	for _, ss := range perWorker {
+		for _, s := range ss {
+			if s.run {
+				runLat = append(runLat, s.lat)
+			} else {
+				readLat = append(readLat, s.lat)
+			}
+		}
+	}
+	res.Runs = int64(len(runLat))
+	res.Reads = int64(len(readLat))
+	res.Errors = errs.Load()
+	res.Rejected = rejected.Load()
+	res.Updates = updates.Load()
+	res.Requests = res.Runs + res.Reads + res.Errors + res.Rejected
+	if res.Wall > 0 {
+		res.QPS = float64(res.Runs+res.Reads) / res.Wall.Seconds()
+	}
+	sort.Slice(runLat, func(i, j int) bool { return runLat[i] < runLat[j] })
+	sort.Slice(readLat, func(i, j int) bool { return readLat[i] < readLat[j] })
+	res.RunP50, res.RunP99 = percentile(runLat, 0.50), percentile(runLat, 0.99)
+	res.ReadP50, res.ReadP99 = percentile(readLat, 0.50), percentile(readLat, 0.99)
+	return res, nil
+}

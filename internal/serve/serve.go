@@ -1,0 +1,386 @@
+// Package serve is the partition-serving plane: a long-lived daemon
+// face over a durable composite store (internal/store), built for the
+// ROADMAP north star of serving heavy concurrent traffic.
+//
+// The concurrency design is single-writer / many-reader with epoch
+// snapshots:
+//
+//   - The store's live composite is the durable ground truth. It is
+//     mutated only by the background apply loop (one goroutine), never
+//     served directly — the store is not safe for concurrent use.
+//   - Each published epoch is a deep Clone of the composite with every
+//     partition pre-compiled to its CSR form, installed behind an
+//     atomic.Pointer. Readers pin exactly one epoch per request
+//     (pin/unpin is a refcount used for drain accounting and metrics;
+//     reclamation is the garbage collector's job), so every response
+//     is internally consistent with one snapshot — snapshot isolation
+//     by construction, with zero locks on the read path.
+//   - POST /updates batches flow through a bounded queue to the apply
+//     loop, which applies them to the store (durable on WAL commit),
+//     then clones, compiles and atomically publishes the next epoch.
+//     Writers never block readers: readers keep serving the previous
+//     epoch until the swap.
+//
+// Requests are admission-controlled (a semaphore bounds in-flight
+// /run work; the update queue bounds writer backlog) and /run sessions
+// come from per-algorithm pools of engine clusters built on
+// internal/pool. Drain stops the HTTP listener, lets in-flight
+// sessions complete (cancelling them after the grace deadline), drains
+// the update queue, flushes the WAL and closes the store.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adp/internal/composite"
+	"adp/internal/costmodel"
+	"adp/internal/fault"
+	"adp/internal/graph"
+	"adp/internal/partition"
+	"adp/internal/pool"
+	"adp/internal/store"
+)
+
+// Config tunes the server. The zero value picks serving defaults.
+type Config struct {
+	// SessionsPerAlgo bounds concurrent engine runs per algorithm (the
+	// size of each per-algorithm session pool). Default 2.
+	SessionsPerAlgo int
+	// MaxInflight bounds admitted concurrent /run requests (including
+	// those queueing for a session). Excess requests get 429. Default 64.
+	MaxInflight int
+	// UpdateQueue bounds pending update batches; a full queue rejects
+	// POST /updates with 429. Default 16.
+	UpdateQueue int
+	// MaxBatch bounds how many queued update batches the apply loop
+	// folds into a single epoch publish. Default 8.
+	MaxBatch int
+	// DefaultTimeout is the per-request /run deadline when the request
+	// does not carry timeout_ms. Default 30s.
+	DefaultTimeout time.Duration
+	// MaxSupersteps, when > 0, overrides every run's superstep budget.
+	MaxSupersteps int
+	// Pool is the engine worker pool sessions run on; nil uses the
+	// process-wide shared pool.
+	Pool *pool.Pool
+	// RunInjector, when non-nil, is cloned into every /run session —
+	// the chaos harness threads deterministic engine faults through a
+	// live server with it.
+	RunInjector *fault.Injector
+	// Logf, when non-nil, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.SessionsPerAlgo <= 0 {
+		c.SessionsPerAlgo = 2
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 64
+	}
+	if c.UpdateQueue <= 0 {
+		c.UpdateQueue = 16
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+}
+
+// epoch is one published snapshot: an immutable compiled composite
+// plus its session pools. seq starts at 1 and increments per publish.
+type epoch struct {
+	seq  uint64
+	lsn  uint64 // store LSN when this epoch was cut
+	comp *composite.Composite
+	// pins counts readers currently inside a request against this
+	// epoch (diagnostics and drain accounting; epochs are reclaimed by
+	// the garbage collector, not by refcount).
+	pins atomic.Int64
+	// pools[i] serves costmodel.Algos()[i]; sessions are built lazily.
+	pools []*sessionPool
+
+	metOnce sync.Once
+	met     []partition.Metrics // per bundled partition
+	cost    []float64           // ParallelCost per algorithm
+	lambda  []float64           // LambdaCost per algorithm
+}
+
+// Server is the serving daemon: one durable store, one hot epoch, and
+// the HTTP face over them.
+type Server struct {
+	cfg Config
+	g   *graph.Graph
+	st  *store.Store
+
+	cur     atomic.Pointer[epoch]
+	admit   chan struct{}
+	updates chan *updateBatch
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	httpSrv *http.Server
+	applyWG sync.WaitGroup
+
+	draining    atomic.Bool
+	storeFailed atomic.Bool
+
+	// Counters mirrored out of the apply loop so /metrics never
+	// touches the store.
+	served         atomic.Int64
+	rejected       atomic.Int64
+	runFailures    atomic.Int64
+	epochSwaps     atomic.Int64
+	updatesApplied atomic.Int64
+	lastLSN        atomic.Uint64
+	committed      atomic.Int64
+}
+
+// New wraps an opened (or freshly created) store. The server owns the
+// store from here on: the apply loop is its only writer and Drain
+// closes it. The first epoch is cut immediately.
+func New(st *store.Store, cfg Config) (*Server, error) {
+	cfg.fill()
+	comp := st.Composite()
+	if comp == nil || comp.K() == 0 {
+		return nil, fmt.Errorf("serve: store holds no composite")
+	}
+	s := &Server{
+		cfg:     cfg,
+		g:       comp.Partition(0).Graph(),
+		st:      st,
+		admit:   make(chan struct{}, cfg.MaxInflight),
+		updates: make(chan *updateBatch, cfg.UpdateQueue),
+	}
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	s.cur.Store(s.newEpoch(1, comp.Clone(), st.LSN()))
+	s.lastLSN.Store(st.LSN())
+	s.committed.Store(st.Committed())
+	s.applyWG.Add(1)
+	go s.applyLoop()
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) pool() *pool.Pool {
+	if s.cfg.Pool != nil {
+		return s.cfg.Pool
+	}
+	return pool.Default()
+}
+
+// newEpoch compiles the cloned composite and builds its session pools.
+func (s *Server) newEpoch(seq uint64, comp *composite.Composite, lsn uint64) *epoch {
+	for _, p := range comp.Partitions() {
+		p.Compile()
+	}
+	e := &epoch{seq: seq, lsn: lsn, comp: comp}
+	algos := costmodel.Algos()
+	e.pools = make([]*sessionPool, len(algos))
+	for i := range algos {
+		part := comp.Partition(i % comp.K())
+		e.pools[i] = newSessionPool(part, s.pool(), s.cfg.SessionsPerAlgo)
+	}
+	return e
+}
+
+// pin acquires the current epoch for one request. The retry keeps the
+// pin count attached to the epoch the reader actually uses even when a
+// publish races the acquisition.
+func (s *Server) pin() *epoch {
+	for {
+		e := s.cur.Load()
+		e.pins.Add(1)
+		if s.cur.Load() == e {
+			return e
+		}
+		e.pins.Add(-1)
+	}
+}
+
+func (e *epoch) unpin() { e.pins.Add(-1) }
+
+// algoIndex returns a's position in costmodel.Algos(); the epoch's
+// session pool for that index runs over partition index%K — 1:1 when
+// the store bundles the full five-algorithm batch, folded modulo K
+// for smaller composites.
+func algoIndex(a costmodel.Algo) int {
+	for i, x := range costmodel.Algos() {
+		if x == a {
+			return i
+		}
+	}
+	return 0
+}
+
+// metrics computes (once per epoch) the structural metrics and
+// reference-model costs served by GET /metrics. Safe for concurrent
+// callers; the epoch is immutable.
+func (e *epoch) metrics() ([]partition.Metrics, []float64, []float64) {
+	e.metOnce.Do(func() {
+		e.met = make([]partition.Metrics, e.comp.K())
+		for j := 0; j < e.comp.K(); j++ {
+			e.met[j] = e.comp.Partition(j).ComputeMetrics()
+		}
+		algos := costmodel.Algos()
+		e.cost = make([]float64, len(algos))
+		e.lambda = make([]float64, len(algos))
+		for i, a := range algos {
+			costs := costmodel.Evaluate(e.comp.Partition(i%e.comp.K()), costmodel.Reference(a))
+			e.cost[i] = costmodel.ParallelCost(costs)
+			e.lambda[i] = costmodel.LambdaCost(costs)
+		}
+	})
+	return e.met, e.cost, e.lambda
+}
+
+// updateBatch is one POST /updates body on its way to the apply loop.
+type updateBatch struct {
+	muts  []store.Mutation
+	reply chan updateResult
+}
+
+type updateResult struct {
+	err              error
+	epoch            uint64 // epoch the batch became visible in (0: durable, not published)
+	lsn              uint64
+	inserts, deletes int
+}
+
+// applyLoop is the single writer: it drains the update queue, folds up
+// to MaxBatch queued batches into one wave, applies them to the store
+// (each batch is one durable WAL commit), and publishes a fresh epoch
+// covering the wave. A store write failure poisons the write path —
+// the last good epoch keeps serving reads, updates fail fast until the
+// process restarts and recovery truncates to the committed prefix.
+func (s *Server) applyLoop() {
+	defer s.applyWG.Done()
+	for b := range s.updates {
+		wave := []*updateBatch{b}
+	fold:
+		for len(wave) < s.cfg.MaxBatch {
+			select {
+			case nb, ok := <-s.updates:
+				if !ok {
+					break fold
+				}
+				wave = append(wave, nb)
+			default:
+				break fold
+			}
+		}
+		s.applyWave(wave)
+	}
+}
+
+func (s *Server) applyWave(wave []*updateBatch) {
+	results := make([]updateResult, len(wave))
+	failedAt := -1
+	for i, b := range wave {
+		if failedAt >= 0 {
+			// A poisoned store fails every later batch fast; skip the
+			// Apply call so the in-memory composite is not touched.
+			results[i] = updateResult{err: fmt.Errorf("serve: store write path failed; restart to recover")}
+			continue
+		}
+		ins, del, err := s.st.Apply(b.muts)
+		results[i] = updateResult{err: err, inserts: ins, deletes: del}
+		if err != nil {
+			failedAt = i
+			s.storeFailed.Store(true)
+			s.logf("serve: update batch failed, store poisoned: %v", err)
+		} else {
+			s.updatesApplied.Add(int64(ins + del))
+		}
+	}
+	s.lastLSN.Store(s.st.LSN())
+	s.committed.Store(s.st.Committed())
+
+	if failedAt < 0 {
+		// Every batch committed: cut and publish the next epoch. The
+		// clone walks the composite while no writer mutates it (this
+		// goroutine is the only writer), readers keep the old epoch.
+		old := s.cur.Load()
+		ne := s.newEpoch(old.seq+1, s.st.Composite().Clone(), s.st.LSN())
+		s.cur.Store(ne)
+		s.epochSwaps.Add(1)
+		for i := range results {
+			results[i].epoch = ne.seq
+			results[i].lsn = ne.lsn
+		}
+	}
+	// A failed wave publishes nothing: the batch that poisoned the
+	// store may have half-applied to the in-memory composite, so the
+	// only trustworthy states are the last published epoch (served
+	// until restart) and the committed WAL prefix (recovered on
+	// reopen). Batches before the failure are durable but stay
+	// invisible; their result says so via epoch == 0.
+	for i, b := range wave {
+		b.reply <- results[i]
+	}
+}
+
+// Start serves HTTP on l until Drain. It returns immediately.
+func (s *Server) Start(l net.Listener) {
+	s.httpSrv = &http.Server{
+		Handler: s.Handler(),
+		// Request contexts derive from baseCtx so Drain can cancel
+		// every in-flight engine run after the grace period.
+		BaseContext: func(net.Listener) context.Context { return s.baseCtx },
+	}
+	go func() {
+		if err := s.httpSrv.Serve(l); err != nil && err != http.ErrServerClosed {
+			s.logf("serve: http: %v", err)
+		}
+	}()
+	s.logf("serve: listening on %s", l.Addr())
+}
+
+// Drain gracefully stops the server: stop accepting, wait for
+// in-flight requests up to ctx's deadline, then cancel their runs
+// (each returns a typed error within one superstep barrier), drain
+// the update queue, flush the WAL and close the store. After Drain
+// the server is unusable. Returns the first error; nil means every
+// session completed or cancelled cleanly and the log is flushed.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	var shutErr error
+	if s.httpSrv != nil {
+		if err := s.httpSrv.Shutdown(ctx); err != nil {
+			// Grace expired: cancel in-flight runs and wait again —
+			// engine runs observe cancellation at the next barrier, so
+			// this second wait is bounded.
+			s.cancel()
+			shutErr = s.httpSrv.Shutdown(context.Background())
+		}
+	}
+	s.cancel()
+	// No handler is in flight now, so nothing can send on updates.
+	close(s.updates)
+	s.applyWG.Wait()
+	closeErr := s.st.Close()
+	s.logf("serve: drained (epoch=%d lsn=%d committed=%d)", s.cur.Load().seq, s.lastLSN.Load(), s.committed.Load())
+	if shutErr != nil {
+		return shutErr
+	}
+	return closeErr
+}
+
+// Epoch returns the sequence number of the currently published epoch.
+func (s *Server) Epoch() uint64 { return s.cur.Load().seq }
+
+// Graph returns the immutable base graph the store serves over.
+func (s *Server) Graph() *graph.Graph { return s.g }

@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"context"
+
+	"adp/internal/engine"
+	"adp/internal/partition"
+	"adp/internal/pool"
+)
+
+// sessionPool is a bounded pool of engine clusters over one immutable
+// epoch partition. A slot holds nil until first use — clusters compile
+// their responsibility index at construction, so building them lazily
+// keeps epoch publishes cheap for algorithms nobody is running.
+// Acquire queues (that is the admission "batching onto session pools":
+// excess requests wait for a session, bounded by their own deadline)
+// and release returns the cluster for reuse; each cluster is held
+// exclusively between the two, which is what makes Configure+Run safe.
+type sessionPool struct {
+	part  *partition.Partition
+	pl    *pool.Pool
+	slots chan *engine.Cluster
+}
+
+func newSessionPool(part *partition.Partition, pl *pool.Pool, size int) *sessionPool {
+	sp := &sessionPool{part: part, pl: pl, slots: make(chan *engine.Cluster, size)}
+	for i := 0; i < size; i++ {
+		sp.slots <- nil
+	}
+	return sp
+}
+
+func (sp *sessionPool) acquire(ctx context.Context) (*engine.Cluster, error) {
+	select {
+	case c := <-sp.slots:
+		if c == nil {
+			// Safe under concurrency: the partition is quiescent (the
+			// epoch is immutable) and already compiled, so NewCluster
+			// only reads it.
+			c = engine.NewCluster(sp.part).UsePool(sp.pl)
+		}
+		return c, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (sp *sessionPool) release(c *engine.Cluster) { sp.slots <- c }

@@ -14,6 +14,11 @@
 // SIGINT drains gracefully: in-flight sessions complete or are
 // cancelled after -grace, the WAL is flushed, and the process exits 0.
 //
+// With -maintain, a background loop watches the served workload for
+// learned-cost drift (-drift-threshold, checked every
+// -maintain-interval) and re-refines + promotes the partitioning in
+// place; see the "maintenance" block of GET /metrics.
+//
 // Endpoints:
 //
 //	POST /run          {"algo":"PR","timeout_ms":5000,...}
@@ -37,6 +42,7 @@ import (
 	"adp/internal/costmodel"
 	"adp/internal/gen"
 	"adp/internal/graph"
+	"adp/internal/maintain"
 	"adp/internal/partitioner"
 	"adp/internal/pool"
 	"adp/internal/serve"
@@ -57,10 +63,17 @@ func main() {
 		timeout   = flag.Duration("timeout", 30*time.Second, "default /run deadline")
 		grace     = flag.Duration("grace", 10*time.Second, "drain grace period before cancelling in-flight runs")
 		workers   = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+
+		maintainOn = flag.Bool("maintain", false, "enable the background re-refinement maintenance loop")
+		driftThr   = flag.Float64("drift-threshold", 0.5, "learned-cost imbalance that triggers a re-refinement cycle")
+		maintEvery = flag.Duration("maintain-interval", 5*time.Second, "drift-detector tick interval")
 	)
 	flag.Parse()
 	if *storeDir == "" {
 		fatal(fmt.Errorf("-store is required"))
+	}
+	if err := validateFlags(*grace, *maintEvery, *inflight, *queue, *driftThr); err != nil {
+		fatal(err)
 	}
 	if *workers != 0 {
 		pool.SetDefaultWorkers(*workers)
@@ -93,16 +106,56 @@ func main() {
 	}
 	srv.Start(l)
 
+	var lp *maintain.Loop
+	if *maintainOn {
+		lp = maintain.New(srv, maintain.Config{
+			Interval:       *maintEvery,
+			DriftThreshold: *driftThr,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "adserve: "+format+"\n", args...)
+			},
+		})
+		lp.Start()
+		fmt.Fprintf(os.Stderr, "adserve: maintenance loop on (interval %v, drift threshold %.3f)\n", *maintEvery, *driftThr)
+	}
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
 	sig := <-sigc
 	fmt.Fprintf(os.Stderr, "adserve: %v, draining (grace %v)\n", sig, *grace)
+	if lp != nil {
+		// Stop the loop first so no maintenance cycle races the drain.
+		lp.Stop()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := srv.Drain(ctx); err != nil {
 		fatal(fmt.Errorf("drain: %w", err))
 	}
 	fmt.Fprintln(os.Stderr, "adserve: drained cleanly")
+}
+
+// validateFlags rejects configurations that would only fail later and
+// obscurely: a negative grace or tick interval silently disables the
+// mechanism it configures, a non-positive admission or queue limit
+// wedges every request.
+func validateFlags(grace, maintEvery time.Duration, inflight, queue int, driftThr float64) error {
+	if grace < 0 {
+		return fmt.Errorf("-grace must be >= 0 (got %v)", grace)
+	}
+	if maintEvery <= 0 {
+		return fmt.Errorf("-maintain-interval must be > 0 (got %v)", maintEvery)
+	}
+	if inflight <= 0 {
+		return fmt.Errorf("-inflight must be > 0 (got %d)", inflight)
+	}
+	if queue <= 0 {
+		return fmt.Errorf("-queue must be > 0 (got %d)", queue)
+	}
+	if driftThr <= 0 {
+		return fmt.Errorf("-drift-threshold must be > 0 (got %g)", driftThr)
+	}
+	return nil
 }
 
 // openOrCreate recovers an existing store in dir, or initialises a

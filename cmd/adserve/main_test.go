@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateFlags(t *testing.T) {
+	ok := func(grace, every time.Duration, inflight, queue int, thr float64) error {
+		return validateFlags(grace, every, inflight, queue, thr)
+	}
+	if err := ok(10*time.Second, 5*time.Second, 64, 16, 0.5); err != nil {
+		t.Fatalf("default configuration rejected: %v", err)
+	}
+	if err := ok(0, time.Second, 1, 1, 0.01); err != nil {
+		t.Fatalf("minimal configuration rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		err  error
+		want string
+	}{
+		{"negative grace", ok(-time.Second, 5*time.Second, 64, 16, 0.5), "-grace"},
+		{"negative maintain interval", ok(0, -time.Second, 64, 16, 0.5), "-maintain-interval"},
+		{"zero maintain interval", ok(0, 0, 64, 16, 0.5), "-maintain-interval"},
+		{"zero inflight", ok(0, time.Second, 0, 16, 0.5), "-inflight"},
+		{"negative inflight", ok(0, time.Second, -3, 16, 0.5), "-inflight"},
+		{"zero queue", ok(0, time.Second, 64, 0, 0.5), "-queue"},
+		{"zero drift threshold", ok(0, time.Second, 64, 16, 0), "-drift-threshold"},
+		{"negative drift threshold", ok(0, time.Second, 64, 16, -0.2), "-drift-threshold"},
+	}
+	for _, tc := range cases {
+		if tc.err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(tc.err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name %s", tc.name, tc.err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"adp/internal/composite"
+	"adp/internal/gen"
+	"adp/internal/graph"
+	"adp/internal/maintain"
+	"adp/internal/partition"
+	"adp/internal/partitioner"
+	"adp/internal/serve"
+	"adp/internal/store"
+)
+
+// DriftRecoverConfig shapes the self-healing measurement: how long the
+// maintenance plane takes to notice a workload/structure drift and
+// promote a re-refined epoch.
+type DriftRecoverConfig struct {
+	// SkewEdges is the number of extra edges injected into fragment 0
+	// of every partition — the drift event. Default 600.
+	SkewEdges int
+	// Interval is the drift-detector tick. Default 20ms.
+	Interval time.Duration
+	// Timeout bounds the whole measurement. Default 120s.
+	Timeout time.Duration
+}
+
+func (c *DriftRecoverConfig) fill() {
+	if c.SkewEdges <= 0 {
+		c.SkewEdges = 600
+	}
+	if c.Interval <= 0 {
+		c.Interval = 20 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 120 * time.Second
+	}
+}
+
+// DriftRecoverResult is the measured recovery.
+type DriftRecoverResult struct {
+	// Recover is the wall time from the drift injection (first skewed
+	// update batch posted) to the first validated promotion.
+	Recover time.Duration
+	// Drift is the detector signal that triggered the cycle.
+	Drift float64
+}
+
+// DriftRecover boots a serving daemon plus its maintenance loop over a
+// mid-size reference graph, injects a structural skew through the live
+// update path, keeps request traffic flowing, and times how long the
+// loop takes to detect the drift, re-refine off the serving path and
+// promote a validated epoch.
+func DriftRecover(cfg DriftRecoverConfig) (*DriftRecoverResult, error) {
+	cfg.fill()
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 2000, AvgDeg: 6, Exponent: 2.1, Directed: false, Seed: 29})
+	p1, err := partitioner.HashEdgeCut(g, 4)
+	if err != nil {
+		return nil, err
+	}
+	assign := make([]int, g.NumVertices())
+	for v := range assign {
+		assign[v] = (v + 1) % 4
+	}
+	p2, err := partition.FromVertexAssignment(g, assign, 4)
+	if err != nil {
+		return nil, err
+	}
+	comp, err := composite.New(g, []*partition.Partition{p1, p2})
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "adp-bench-drift-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Create(dir, comp, store.Options{SyncEvery: 8})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := serve.New(st, serve.Config{SessionsPerAlgo: 2, MaxInflight: 64, UpdateQueue: 16})
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv.Start(l)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+	}()
+	url := "http://" + l.Addr().String()
+
+	lp := maintain.New(srv, maintain.Config{
+		Interval:       cfg.Interval,
+		DriftThreshold: 0.05,
+		MinGain:        -1, // measure detection + promotion latency, not gain
+		RefineTimeout:  60 * time.Second,
+		Watchdog:       maintain.WatchdogConfig{Window: 10 * time.Millisecond, CostFactor: 1000, LatFactor: 1000, MinSamples: 1 << 20},
+	})
+	lp.Start()
+	defer lp.Stop()
+
+	// The drift event: extra edges, all landing in fragment 0 of both
+	// partitions, posted through the live update path.
+	var sb strings.Builder
+	count := 0
+	n := g.NumVertices()
+	for u := 0; u < n && count < cfg.SkewEdges; u++ {
+		for v := u + 1; v < n && count < cfg.SkewEdges; v++ {
+			uu, vv := graph.VertexID(u), graph.VertexID(v)
+			if !g.HasEdge(uu, vv) && !g.HasEdge(vv, uu) {
+				fmt.Fprintf(&sb, "+ %d %d 0 0\n", u, v)
+				count++
+			}
+		}
+	}
+	start := time.Now()
+	resp, err := http.Post(url+"/updates", "text/plain", strings.NewReader(sb.String()))
+	if err != nil {
+		return nil, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("bench: drift injection: status %d", resp.StatusCode)
+	}
+
+	// Keep traffic flowing so the detector window sees the skewed
+	// workload, and wait for the first validated promotion.
+	body, _ := json.Marshal(map[string]any{"algo": "WCC"})
+	deadline := time.Now().Add(cfg.Timeout)
+	for {
+		resp, err := http.Post(url+"/run", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("bench: drift traffic: status %d", resp.StatusCode)
+		}
+		if st := lp.Status(); st.Promoted >= 1 {
+			return &DriftRecoverResult{Recover: time.Since(start), Drift: st.LastDrift}, nil
+		}
+		if time.Now().After(deadline) {
+			st := lp.Status()
+			return nil, fmt.Errorf("bench: no promotion within %v (drift %.4f, cycles %d, last error %q)",
+				cfg.Timeout, st.LastDrift, st.Cycles, st.LastError)
+		}
+	}
+}
+
+// addDriftSeries folds the self-healing measurement into the report:
+// drift_recover is ns from drift injection to the first validated
+// promotion.
+func addDriftSeries(rep *PerfReport) error {
+	res, err := DriftRecover(DriftRecoverConfig{})
+	if err != nil {
+		return err
+	}
+	rep.Results = append(rep.Results, PerfResult{Name: "drift_recover", NsPerOp: float64(res.Recover.Nanoseconds())})
+	rep.DriftRecoverMs = float64(res.Recover.Nanoseconds()) / 1e6
+	return nil
+}

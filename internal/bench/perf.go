@@ -72,6 +72,10 @@ type PerfReport struct {
 	// stays within 2x of the second.
 	ServeReadP99Ms         float64 `json:"serve_read_p99_ms"`
 	ServeReadP99NoWriterMs float64 `json:"serve_read_p99_nowriter_ms"`
+	// DriftRecoverMs is the self-healing latency: wall milliseconds
+	// from a structural drift injected through the live update path to
+	// the maintenance loop's first validated epoch promotion.
+	DriftRecoverMs float64 `json:"drift_recover_ms"`
 }
 
 // engineRunBaseline is the pre-flat-data-plane BenchmarkEngineRun
@@ -312,6 +316,12 @@ func Perf() (*PerfReport, error) {
 	if err := addServeSeries(rep, ServeLoadConfig{}); err != nil {
 		return nil, err
 	}
+
+	// Maintenance plane: time from an injected structural drift to the
+	// first validated promotion by the background re-refinement loop.
+	if err := addDriftSeries(rep); err != nil {
+		return nil, err
+	}
 	return rep, nil
 }
 
@@ -496,6 +506,9 @@ func (r *PerfReport) Summary() string {
 	if r.ServeQPS > 0 {
 		s += fmt.Sprintf(", serve %.0f QPS (read p99 %.2fms writer / %.2fms no-writer)",
 			r.ServeQPS, r.ServeReadP99Ms, r.ServeReadP99NoWriterMs)
+	}
+	if r.DriftRecoverMs > 0 {
+		s += fmt.Sprintf(", drift recovery %.0fms", r.DriftRecoverMs)
 	}
 	return s
 }

@@ -1,0 +1,91 @@
+package costmodel
+
+// Drift signal: the maintenance plane folds the engine's harvested
+// per-fragment cost reports and the live /run algorithm mix into a
+// single imbalance number. The partition was refined for a reference
+// workload; when the observed per-fragment load skews — hot fragments
+// doing several times the mean work — the learned-cost placement has
+// drifted from what traffic actually exercises and background
+// re-refinement is warranted. Everything here is pure arithmetic over
+// slices so the detector is trivially testable and allocation-light.
+
+// FragTotals flattens a per-fragment cost evaluation into total load
+// per fragment (Comp + Comm, the same Total the parallel cost takes
+// the max of).
+func FragTotals(costs []FragCost) []float64 {
+	out := make([]float64, len(costs))
+	for i, fc := range costs {
+		out[i] = fc.Total()
+	}
+	return out
+}
+
+// Imbalance maps a per-fragment load vector to max/mean - 1: zero for
+// a perfectly balanced vector, 1.0 when the hottest fragment carries
+// twice the mean, and so on. Degenerate inputs (empty, all-zero,
+// negative sums) report zero — no load is never drift.
+func Imbalance(load []float64) float64 {
+	if len(load) == 0 {
+		return 0
+	}
+	var sum, max float64
+	for _, v := range load {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum <= 0 {
+		return 0
+	}
+	mean := sum / float64(len(load))
+	return max/mean - 1
+}
+
+// MixWeights normalizes observed per-algorithm request counts into
+// weights summing to 1. A window with no traffic yields all zeros, so
+// a quiet server never reports drift.
+func MixWeights(counts []int64) []float64 {
+	w := make([]float64, len(counts))
+	var total int64
+	for _, c := range counts {
+		if c > 0 {
+			total += c
+		}
+	}
+	if total == 0 {
+		return w
+	}
+	for i, c := range counts {
+		if c > 0 {
+			w[i] = float64(c) / float64(total)
+		}
+	}
+	return w
+}
+
+// WeightedImbalance folds per-algorithm per-fragment load rows with
+// the observed mix: the drift signal is the imbalance of the
+// mix-weighted aggregate load vector (sum_a w_a * load_a[i] per
+// fragment i). Aggregating before the max/mean keeps the signal about
+// the *blended* workload — a fragment only reads hot if the traffic
+// actually sent at it is hot. Rows whose weight is zero are skipped;
+// ragged or empty inputs degrade to zero signal.
+func WeightedImbalance(rows [][]float64, weights []float64) float64 {
+	var agg []float64
+	for a, row := range rows {
+		if a >= len(weights) || weights[a] == 0 || len(row) == 0 {
+			continue
+		}
+		if agg == nil {
+			agg = make([]float64, len(row))
+		}
+		if len(row) != len(agg) {
+			continue
+		}
+		for i, v := range row {
+			agg[i] += weights[a] * v
+		}
+	}
+	return Imbalance(agg)
+}

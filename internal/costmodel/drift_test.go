@@ -1,0 +1,84 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestImbalance(t *testing.T) {
+	cases := []struct {
+		name string
+		load []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"all zero", []float64{0, 0, 0}, 0},
+		{"balanced", []float64{5, 5, 5, 5}, 0},
+		{"hot fragment twice the mean", []float64{4, 1, 1, 2}, 1},
+		{"single fragment", []float64{7}, 0},
+		{"negative sum degenerate", []float64{-1, -2}, 0},
+	}
+	for _, tc := range cases {
+		if got := Imbalance(tc.load); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: Imbalance(%v) = %v, want %v", tc.name, tc.load, got, tc.want)
+		}
+	}
+}
+
+func TestMixWeights(t *testing.T) {
+	w := MixWeights([]int64{3, 0, 1, 0, 0})
+	want := []float64{0.75, 0, 0.25, 0, 0}
+	for i := range want {
+		if math.Abs(w[i]-want[i]) > 1e-12 {
+			t.Fatalf("weights = %v, want %v", w, want)
+		}
+	}
+	for _, v := range MixWeights([]int64{0, 0}) {
+		if v != 0 {
+			t.Fatal("quiet window must weigh zero")
+		}
+	}
+	// Negative counts (cannot happen, but defend) are ignored.
+	w = MixWeights([]int64{-5, 10})
+	if w[0] != 0 || w[1] != 1 {
+		t.Fatalf("negative count mishandled: %v", w)
+	}
+}
+
+func TestWeightedImbalance(t *testing.T) {
+	// Algorithm 0 hammers fragment 0, algorithm 1 is balanced. With
+	// all the traffic on algo 1 the signal is zero; shifting the mix
+	// toward algo 0 raises it monotonically.
+	rows := [][]float64{
+		{9, 1, 1, 1},
+		{3, 3, 3, 3},
+	}
+	if got := WeightedImbalance(rows, []float64{0, 1}); got != 0 {
+		t.Fatalf("balanced-only mix reports drift %v", got)
+	}
+	lo := WeightedImbalance(rows, []float64{0.2, 0.8})
+	hi := WeightedImbalance(rows, []float64{0.9, 0.1})
+	if !(hi > lo && lo > 0) {
+		t.Fatalf("signal not monotone in the hot mix: lo=%v hi=%v", lo, hi)
+	}
+	// Pure hot algorithm reproduces the plain imbalance of its row.
+	pure := WeightedImbalance(rows, []float64{1, 0})
+	if math.Abs(pure-Imbalance(rows[0])) > 1e-12 {
+		t.Fatalf("pure mix %v != row imbalance %v", pure, Imbalance(rows[0]))
+	}
+	// Ragged and missing rows degrade, not panic.
+	if got := WeightedImbalance([][]float64{{1, 2}, {1, 2, 3}}, []float64{0.5, 0.5}); got != Imbalance([]float64{0.5, 1}) {
+		t.Fatalf("ragged row not skipped: %v", got)
+	}
+	if got := WeightedImbalance(nil, nil); got != 0 {
+		t.Fatalf("nil input: %v", got)
+	}
+}
+
+func TestFragTotals(t *testing.T) {
+	costs := []FragCost{{Comp: 1, Comm: 2}, {Comp: 0.5, Comm: 0}}
+	got := FragTotals(costs)
+	if len(got) != 2 || got[0] != 3 || got[1] != 0.5 {
+		t.Fatalf("FragTotals = %v", got)
+	}
+}

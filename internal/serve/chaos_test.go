@@ -46,9 +46,18 @@ func TestServeChaos(t *testing.T) {
 		fault.Event{Kind: fault.Transient, Superstep: 2, Worker: 1},
 		fault.Event{Kind: fault.Straggler, Superstep: 1, Worker: 2, Delay: time.Millisecond},
 	)
-	// Disk chaos: the 6th fsync through the store fails — a few update
-	// batches in, mid-wave, with full EIO ambiguity about durability.
-	diskInj := fault.NewDiskInjector(fault.DiskEvent{Kind: fault.SyncErr, N: 6})
+	// Disk chaos: a burst of failing fsyncs starting at the 6th — a few
+	// update batches in, mid-wave, with full EIO ambiguity about
+	// durability. The burst outlasts the apply loop's retry ladder
+	// (default 3 retries), so the write path must still poison; a
+	// shorter burst is absorbed (TestServeApplyRetryLadder).
+	diskInj := fault.NewDiskInjector(
+		fault.DiskEvent{Kind: fault.SyncErr, N: 6},
+		fault.DiskEvent{Kind: fault.SyncErr, N: 7},
+		fault.DiskEvent{Kind: fault.SyncErr, N: 8},
+		fault.DiskEvent{Kind: fault.SyncErr, N: 9},
+		fault.DiskEvent{Kind: fault.SyncErr, N: 10},
+	)
 
 	ts := startServer(t, t.TempDir()+"/store", true,
 		Config{Pool: pl, RunInjector: runInj, SessionsPerAlgo: 2},
@@ -141,8 +150,10 @@ func TestServeChaos(t *testing.T) {
 	if status, rr, eb := ts.postRun(t, runReqFor(costmodel.WCC)); status != http.StatusOK || rr.Epoch != lastGoodEpoch {
 		t.Fatalf("post-poison run: status %d epoch %d (%v)", status, rr.Epoch, eb)
 	}
-	if !ts.getMetrics(t).Store.Failed {
+	if m := ts.getMetrics(t); !m.Store.Failed {
 		t.Fatal("metrics do not report the poisoned write path")
+	} else if m.Server.ApplyRetries == 0 {
+		t.Fatal("retry ladder never ran before the poison")
 	}
 
 	// Drain. Closing a poisoned store may surface the write error —

@@ -66,6 +66,16 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxSupersteps, when > 0, overrides every run's superstep budget.
 	MaxSupersteps int
+	// ApplyRetries bounds the in-place retry ladder for transient
+	// commit-time fsync failures: the apply loop re-issues the failed
+	// fsync up to this many times (exponential backoff from
+	// ApplyRetryBase) before poisoning the write path. Non-fsync write
+	// failures (torn writes, crashes) poison immediately. Default 3;
+	// negative disables retries.
+	ApplyRetries int
+	// ApplyRetryBase is the first backoff step of the retry ladder;
+	// each attempt doubles it. Default 2ms.
+	ApplyRetryBase time.Duration
 	// Pool is the engine worker pool sessions run on; nil uses the
 	// process-wide shared pool.
 	Pool *pool.Pool
@@ -92,6 +102,15 @@ func (c *Config) fill() {
 	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.ApplyRetries == 0 {
+		c.ApplyRetries = 3
+	}
+	if c.ApplyRetries < 0 {
+		c.ApplyRetries = 0
+	}
+	if c.ApplyRetryBase <= 0 {
+		c.ApplyRetryBase = 2 * time.Millisecond
 	}
 }
 
@@ -124,6 +143,10 @@ type Server struct {
 	cur     atomic.Pointer[epoch]
 	admit   chan struct{}
 	updates chan *updateBatch
+	// swaps carries maintenance promotion/rollback requests into the
+	// apply loop. Unbuffered: senders block until the single writer
+	// accepts (or abort on baseCtx when a drain races them).
+	swaps chan *swapRequest
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -133,15 +156,38 @@ type Server struct {
 	draining    atomic.Bool
 	storeFailed atomic.Bool
 
+	// Maintenance delta capture (guarded by capMu; written by the
+	// apply loop, armed/drained by the maintenance loop).
+	capMu       sync.Mutex
+	capOn       bool
+	capWaves    []capturedWave
+	capCount    int
+	capOverflow bool
+
+	// Observation window for the drift detector plus the /run latency
+	// ring for the regression watchdog.
+	obsMu      sync.Mutex
+	obsCounts  []int64
+	obsWork    [][]float64
+	latSamples []LatencySample
+	latNext    int
+
+	// Maintenance /metrics provider (registered by internal/maintain).
+	maintMu     sync.Mutex
+	maintStatus func() MaintStatus
+
 	// Counters mirrored out of the apply loop so /metrics never
 	// touches the store.
-	served         atomic.Int64
-	rejected       atomic.Int64
-	runFailures    atomic.Int64
-	epochSwaps     atomic.Int64
-	updatesApplied atomic.Int64
-	lastLSN        atomic.Uint64
-	committed      atomic.Int64
+	served          atomic.Int64
+	rejected        atomic.Int64
+	runFailures     atomic.Int64
+	epochSwaps      atomic.Int64
+	updatesApplied  atomic.Int64
+	applyRetries    atomic.Int64
+	maintPromotions atomic.Int64
+	maintRollbacks  atomic.Int64
+	lastLSN         atomic.Uint64
+	committed       atomic.Int64
 }
 
 // New wraps an opened (or freshly created) store. The server owns the
@@ -159,6 +205,7 @@ func New(st *store.Store, cfg Config) (*Server, error) {
 		st:      st,
 		admit:   make(chan struct{}, cfg.MaxInflight),
 		updates: make(chan *updateBatch, cfg.UpdateQueue),
+		swaps:   make(chan *swapRequest),
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	s.cur.Store(s.newEpoch(1, comp.Clone(), st.LSN()))
@@ -263,27 +310,84 @@ type updateResult struct {
 // applyLoop is the single writer: it drains the update queue, folds up
 // to MaxBatch queued batches into one wave, applies them to the store
 // (each batch is one durable WAL commit), and publishes a fresh epoch
-// covering the wave. A store write failure poisons the write path —
-// the last good epoch keeps serving reads, updates fail fast until the
-// process restarts and recovery truncates to the committed prefix.
+// covering the wave. Maintenance swap requests interleave with waves
+// on the same goroutine, so promotions serialize with the update
+// stream by construction. A non-retryable store write failure poisons
+// the write path — the last good epoch keeps serving reads, updates
+// fail fast until the process restarts and recovery truncates to the
+// committed prefix.
 func (s *Server) applyLoop() {
 	defer s.applyWG.Done()
-	for b := range s.updates {
-		wave := []*updateBatch{b}
-	fold:
-		for len(wave) < s.cfg.MaxBatch {
-			select {
-			case nb, ok := <-s.updates:
-				if !ok {
+	for {
+		select {
+		case b, ok := <-s.updates:
+			if !ok {
+				return
+			}
+			wave := []*updateBatch{b}
+		fold:
+			for len(wave) < s.cfg.MaxBatch {
+				select {
+				case nb, ok := <-s.updates:
+					if !ok {
+						break fold
+					}
+					wave = append(wave, nb)
+				default:
 					break fold
 				}
-				wave = append(wave, nb)
-			default:
-				break fold
+			}
+			s.applyWave(wave)
+		case sr := <-s.swaps:
+			s.applySwap(sr)
+		}
+	}
+}
+
+// applyBatch runs one batch through the store chunk by chunk (a chunk
+// is the run of mutations up to a commit marker, i.e. one durable WAL
+// commit). A transient fsync failure is retried in place up to
+// cfg.ApplyRetries times with exponential backoff: the store keeps the
+// interrupted commit's bytes pending, so a successful RetrySync
+// completes that exact commit and the chunk — nothing is reapplied,
+// nothing is lost. Only an exhausted ladder or a non-retryable failure
+// (torn write, crash, semantic error) leaves the store poisoned.
+func (s *Server) applyBatch(muts []store.Mutation) (inserts, deletes int, err error) {
+	start := 0
+	for start <= len(muts) {
+		end := len(muts)
+		for i := start; i < len(muts); i++ {
+			if muts[i].Kind == store.MutCommit {
+				end = i + 1
+				break
 			}
 		}
-		s.applyWave(wave)
+		if start == end {
+			break
+		}
+		chunk := muts[start:end]
+		ins, del, aerr := s.st.Apply(chunk)
+		if aerr != nil {
+			for attempt := 0; attempt < s.cfg.ApplyRetries && s.st.CanRetrySync(); attempt++ {
+				time.Sleep(s.cfg.ApplyRetryBase << attempt)
+				s.applyRetries.Add(1)
+				if rerr := s.st.RetrySync(); rerr == nil {
+					// The interrupted commit is durable now; the chunk's
+					// mutations were all applied before the fsync, so the
+					// chunk is complete.
+					aerr = nil
+					break
+				}
+			}
+		}
+		inserts += ins
+		deletes += del
+		if aerr != nil {
+			return inserts, deletes, aerr
+		}
+		start = end
 	}
+	return inserts, deletes, nil
 }
 
 func (s *Server) applyWave(wave []*updateBatch) {
@@ -296,7 +400,7 @@ func (s *Server) applyWave(wave []*updateBatch) {
 			results[i] = updateResult{err: fmt.Errorf("serve: store write path failed; restart to recover")}
 			continue
 		}
-		ins, del, err := s.st.Apply(b.muts)
+		ins, del, err := s.applyBatch(b.muts)
 		results[i] = updateResult{err: err, inserts: ins, deletes: del}
 		if err != nil {
 			failedAt = i
@@ -317,6 +421,7 @@ func (s *Server) applyWave(wave []*updateBatch) {
 		ne := s.newEpoch(old.seq+1, s.st.Composite().Clone(), s.st.LSN())
 		s.cur.Store(ne)
 		s.epochSwaps.Add(1)
+		s.captureWave(ne.seq, wave)
 		for i := range results {
 			results[i].epoch = ne.seq
 			results[i].lsn = ne.lsn

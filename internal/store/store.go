@@ -102,6 +102,11 @@ type Store struct {
 	committed        int64
 
 	failed error
+	// retrySync marks the poisoning failure as a commit-time fsync
+	// error: the batch's bytes already reached the file intact, so a
+	// follow-up RetrySync can complete the commit. Short or torn
+	// writes never set it.
+	retrySync bool
 }
 
 func snapName(lsn uint64) string { return fmt.Sprintf("snap-%016x.comp", lsn) }
@@ -439,6 +444,43 @@ func (s *Store) ready() error {
 	return nil
 }
 
+// Failed reports whether the write path is poisoned.
+func (s *Store) Failed() bool { return s.failed != nil }
+
+// CanRetrySync reports whether the poisoning failure is a retryable
+// commit-time fsync error: the batch's frames reached the file intact
+// and only the durability barrier failed, so re-issuing the fsync can
+// complete the commit. Short writes, torn frames and failures after
+// the segment closed are never retryable.
+func (s *Store) CanRetrySync() bool {
+	return s.failed != nil && s.retrySync && s.seg != nil
+}
+
+// RetrySync re-issues the fsync whose failure poisoned the store. On
+// success the interrupted commit's bookkeeping is completed and the
+// poison cleared — the store is fully usable again, with every
+// previously acked batch durable. On failure the store stays poisoned
+// and remains retryable, so callers can ladder a bounded number of
+// attempts before giving up and reopening.
+func (s *Store) RetrySync() error {
+	if !s.CanRetrySync() {
+		return fmt.Errorf("store: failure is not a retryable fsync (cause: %v)", s.failed)
+	}
+	if err := s.seg.Sync(); err != nil {
+		s.failed = fmt.Errorf("store: retrying log sync: %w", err)
+		return s.failed
+	}
+	// Durable now: finish what commit() skipped when the sync failed.
+	s.commitsSinceSync = 0
+	s.committed += int64(s.pendingMuts)
+	s.mutsSinceSnap += s.pendingMuts
+	s.pending = s.pending[:0]
+	s.pendingMuts = 0
+	s.failed = nil
+	s.retrySync = false
+	return nil
+}
+
 // Composite exposes the live in-memory composite. Mutate it only
 // through the store, or the log diverges from the state.
 func (s *Store) Composite() *composite.Composite { return s.comp }
@@ -519,6 +561,11 @@ func (s *Store) commit(allowSnap bool) error {
 	s.commitsSinceSync++
 	if s.commitsSinceSync >= s.opts.syncEvery() {
 		if err := s.seg.Sync(); err != nil {
+			// The batch (commit frame included) is already in the file;
+			// only the fsync failed, so the commit can be completed by
+			// RetrySync. pending/committed are deliberately left alone:
+			// RetrySync finishes that bookkeeping on success.
+			s.retrySync = true
 			return s.fail(fmt.Errorf("store: syncing log: %w", err))
 		}
 		s.commitsSinceSync = 0
@@ -545,6 +592,7 @@ func (s *Store) Snapshot() error {
 		return err
 	}
 	if err := s.seg.Sync(); err != nil {
+		s.retrySync = true
 		return s.fail(fmt.Errorf("store: syncing log before snapshot: %w", err))
 	}
 	s.commitsSinceSync = 0
@@ -559,12 +607,67 @@ func (s *Store) Snapshot() error {
 	if err := s.openSegment(); err != nil {
 		return err
 	}
-	// Compaction: every non-active segment is covered by the snapshot
-	// we just published (its frames all carry LSNs below the new
-	// segment's start).
+	s.compact()
+	return nil
+}
+
+// ReplaceComposite durably replaces the live composite with c — the
+// maintenance plane's promotion/rollback primitive. The pending batch
+// is committed and synced, the active segment closed, and c persisted
+// as a full snapshot (temp file + fsync + atomic rename) before a
+// fresh WAL segment opens — so a crash at any byte recovers either the
+// previous committed state (rename not yet visible) or exactly c, and
+// every update wave after a nil return cuts its epochs from c's
+// lineage. The store owns c from then on; the caller must stop
+// mutating it. Shape mismatches are rejected before any disk write and
+// do not poison the store; disk failures do, like any other write-path
+// error, and leave the in-memory composite on the previous state so it
+// keeps matching the durable prefix a reopen recovers.
+func (s *Store) ReplaceComposite(c *composite.Composite) error {
+	if err := s.ready(); err != nil {
+		return err
+	}
+	if c.K() != s.comp.K() || c.N() != s.comp.N() {
+		return fmt.Errorf("store: replacement shape (n=%d,k=%d) does not match store (n=%d,k=%d)",
+			c.N(), c.K(), s.comp.N(), s.comp.K())
+	}
+	if c.Partition(0).Graph().NumVertices() != s.g.NumVertices() {
+		return fmt.Errorf("store: replacement covers %d vertices, store has %d",
+			c.Partition(0).Graph().NumVertices(), s.g.NumVertices())
+	}
+	if err := s.commit(false); err != nil {
+		return err
+	}
+	if err := s.seg.Sync(); err != nil {
+		s.retrySync = true
+		return s.fail(fmt.Errorf("store: syncing log before replace: %w", err))
+	}
+	s.commitsSinceSync = 0
+	if err := s.seg.Close(); err != nil {
+		s.seg = nil
+		return s.fail(fmt.Errorf("store: closing segment: %w", err))
+	}
+	s.seg = nil
+	old := s.comp
+	s.comp = c
+	if err := s.writeSnapshot(); err != nil {
+		s.comp = old
+		return s.fail(err)
+	}
+	if err := s.openSegment(); err != nil {
+		return err
+	}
+	s.compact()
+	return nil
+}
+
+// compact removes WAL segments covered by the newest snapshot and all
+// but one older snapshot (kept as a bitrot fallback). Advisory: a
+// failed listing just leaves garbage for the next compaction.
+func (s *Store) compact() {
 	names, err := s.fs.List(s.dir)
 	if err != nil {
-		return nil // compaction is advisory; the next snapshot retries
+		return
 	}
 	var oldSnaps []uint64
 	for _, n := range names {
@@ -575,13 +678,10 @@ func (s *Store) Snapshot() error {
 			oldSnaps = append(oldSnaps, lsn)
 		}
 	}
-	// Keep the newest older snapshot as a bitrot fallback; it is only
-	// usable until the next compaction, but it costs little.
 	sort.Slice(oldSnaps, func(i, j int) bool { return oldSnaps[i] < oldSnaps[j] })
 	for i := 0; i+1 < len(oldSnaps); i++ {
 		_ = s.fs.Remove(join(s.dir, snapName(oldSnaps[i])))
 	}
-	return nil
 }
 
 // writeSnapshot persists the composite as snap-<lastLSN> atomically.

@@ -32,7 +32,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the remaining experiments after this duration (0 = no timeout)")
 	faultSpec := flag.String("faults", "", `fault schedule injected into every engine run: grammar spec or "rand:N" (costs are unchanged by design)`)
 	jsonPath := flag.String("json", "", "run the engine/partition perf suite and write the machine-readable report (e.g. BENCH_4.json) to this path, then exit")
-	against := flag.String("against", "", "with -json: compare engine_run ns/op against this prior report and exit 1 on a >20% regression")
+	against := flag.String("against", "", "with -json: gate against this prior report (engine_run ns/op, plus allocs/op and bytes/op of every shared series) and exit 1 on a >20% regression")
 	serveLoad := flag.Bool("serve-load", false, "run the serving-plane load measurement (boots adserve's daemon on loopback, drives mixed /run+/vertex traffic) and exit")
 	serveDur := flag.Duration("serve-duration", 0, "with -serve-load: duration per phase (default 2s)")
 	serveQPS := flag.Float64("serve-qps", 0, "with -serve-load: open-loop target QPS (default 1000)")
@@ -104,7 +104,7 @@ func main() {
 				stopProf()
 				os.Exit(1)
 			}
-			fmt.Printf("engine_run within the +20%% gate of %s\n", *against)
+			fmt.Printf("within the +20%% gates of %s (engine_run ns/op; allocs/op and bytes/op of every shared series)\n", *against)
 		}
 		return
 	}
@@ -166,7 +166,9 @@ identical for every value; only wall time changes.
 -json PATH runs the engine/partition perf suite instead and writes the
 machine-readable benchmark report (ns/op, allocs/op, speedup vs the
 pinned pre-change baselines) to PATH; -against PRIOR then gates
-engine_run ns/op at +20% of the prior report, exiting 1 on regression.
+engine_run ns/op plus allocs/op and bytes/op of every series shared
+with the prior report at +20% (with small absolute floors for jitter),
+exiting 1 on regression.
 -serve-load runs the serving-plane load measurement instead: it boots
 the adserve daemon over the reference graph on a loopback listener and
 drives mixed /run+/vertex traffic in three phases (open loop without

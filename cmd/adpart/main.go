@@ -6,11 +6,20 @@
 //
 //	adpart -graph twitter -n 8 -base Fennel -algo CN
 //	adpart -graph path/to/edges.txt -n 4 -base Grid -algo batch
+//	adpart -graph big.txt -n 8 -stream -compressed
+//	adpart -graph big.txt -saveflat big.flat && adpart -graph big.flat -mmap
 //	adpart -algo batch -store state/ -updates stream.txt
 //	adpart -fsck state/ [-repair]
 //
 // The graph is either a named synthetic stand-in (social, twitter,
 // web, road) or a path to an edge-list file (see internal/graph).
+// Big-graph data plane: -stream ingests edge-list files with the
+// chunk-parallel loader and runs streaming Fennel during the build
+// (the baseline partition exists the moment the graph does);
+// -compressed holds the partition adjacency in the delta-varint
+// compressed form (inflating on demand) and prints the footprint;
+// -saveflat writes the loaded graph as a flat binary CSR, which -mmap
+// then serves zero-copy from page cache.
 // -updates applies an edge-update stream ("+ u v [dests]", "- u v",
 // "commit" — the WAL record grammar spelled out); -store keeps the
 // batch composite in a crash-consistent on-disk store; -fsck checks a
@@ -58,6 +67,10 @@ func main() {
 		storeDir  = flag.String("store", "", "with -algo batch: keep the composite in a crash-consistent store at this directory")
 		fsckDir   = flag.String("fsck", "", "check the store at this directory and exit (0 healthy, 1 damaged)")
 		repair    = flag.Bool("repair", false, "with -fsck: truncate damaged or un-acked log tails in place")
+		stream    = flag.Bool("stream", false, "one-pass ingest: run streaming Fennel while the graph builds (implies -base Fennel)")
+		compress  = flag.Bool("compressed", false, "hold the partition adjacency gap-compressed (inflates on demand) and print the footprint")
+		useMmap   = flag.Bool("mmap", false, "load -graph as a flat binary CSR via mmap (write one with -saveflat)")
+		saveFlat  = flag.String("saveflat", "", "write the loaded graph in flat binary CSR format to this path and continue")
 	)
 	flag.Parse()
 	if *fsckDir != "" {
@@ -95,22 +108,62 @@ func main() {
 	}
 	runOpts := engine.Options{Context: ctx, Injector: fault.NewInjector(events...)}
 
-	g, err := loadGraph(*graphName, *symmetric)
+	loadStart := time.Now()
+	g, st, mapping, err := loadGraphBig(*graphName, *symmetric, *useMmap, *stream, *n)
 	if err != nil {
 		fatal(err)
+	}
+	if mapping != nil {
+		defer mapping.Close()
+		fmt.Printf("graph mapped zero-copy in %v\n", time.Since(loadStart).Round(time.Millisecond))
 	}
 	fmt.Printf("graph: %v\n", graph.ComputeStats(g))
+	if *saveFlat != "" {
+		if err := writeFlat(*saveFlat, g); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("flat CSR written to %s (%d bytes; load it with -mmap)\n", *saveFlat, graph.FixedSizeBytes(g))
+	}
 
-	spec, ok := partitioner.ByName(*baseName)
-	if !ok {
-		fatal(fmt.Errorf("unknown baseline %q", *baseName))
+	var spec partitioner.Spec
+	var base *partition.Partition
+	if *stream {
+		spec, _ = partitioner.ByName("Fennel")
+		start := time.Now()
+		if st != nil {
+			// The stream already ran during ingestion; materialising the
+			// partition is all that is left.
+			base, err = st.Partition(g)
+		} else {
+			base, err = partitioner.FennelStreamEdgeCut(g, *n, partitioner.FennelConfig{})
+		}
+		if err != nil {
+			fatal(err)
+		}
+		where := "over built graph"
+		if st != nil {
+			where = "during ingest"
+		}
+		fmt.Printf("baseline streaming Fennel (%s, materialised in %v): %s\n",
+			where, time.Since(start).Round(time.Millisecond), metricsLine(base))
+	} else {
+		var ok bool
+		spec, ok = partitioner.ByName(*baseName)
+		if !ok {
+			fatal(fmt.Errorf("unknown baseline %q", *baseName))
+		}
+		start := time.Now()
+		base, err = spec.Run(g, *n)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("baseline %s (%s) in %v: %s\n", spec.Name, spec.Family, time.Since(start).Round(time.Millisecond), metricsLine(base))
 	}
-	start := time.Now()
-	base, err := spec.Run(g, *n)
-	if err != nil {
-		fatal(err)
+	if *compress {
+		packed, compressed := base.CompileCompressed().FootprintBytes()
+		fmt.Printf("compressed adjacency: %d bytes vs %d packed (%.1f%% of packed)\n",
+			compressed, packed, float64(compressed)/float64(packed)*100)
 	}
-	fmt.Printf("baseline %s (%s) in %v: %s\n", spec.Name, spec.Family, time.Since(start).Round(time.Millisecond), metricsLine(base))
 
 	var muts []store.Mutation
 	if *updates != "" {
@@ -130,7 +183,7 @@ func main() {
 	model := costmodel.Reference(algo)
 	before := costmodel.Evaluate(base, model)
 	refined := base.Clone()
-	start = time.Now()
+	start := time.Now()
 	stats := refine.ForFamily(spec.Family, refined, model, refine.Config{})
 	if stats == nil {
 		fmt.Println("hybrid baseline: no refinement applied")
@@ -307,6 +360,58 @@ func runFsck(dir string, repair bool, graphName string, symmetric, deep bool) (*
 		}
 	}
 	return store.Fsck(dir, g, repair)
+}
+
+// loadGraphBig is loadGraph extended with the big-graph ingest paths:
+// mmap serves a flat binary CSR zero-copy, and stream runs streaming
+// Fennel while an edge-list file parses and builds (the returned
+// FennelStream is non-nil exactly when that happened — synthetic or
+// symmetrised graphs stream after the build instead, since the
+// assignment must see the graph the run will use).
+func loadGraphBig(name string, symmetric, useMmap, stream bool, frags int) (*graph.Graph, *partitioner.FennelStream, *graph.Mapping, error) {
+	if useMmap {
+		g, mapping, err := graph.MapFlatBinary(name)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if symmetric && !g.Undirected() {
+			sg := graph.Symmetrize(g)
+			mapping.Close()
+			return sg, nil, nil, nil
+		}
+		return g, nil, mapping, nil
+	}
+	switch strings.ToLower(name) {
+	case "social", "twitter", "web", "road":
+	default:
+		if stream && !symmetric {
+			f, err := os.Open(name)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			defer f.Close()
+			st := partitioner.NewFennelStream(frags, partitioner.FennelConfig{})
+			g, err := graph.ParallelReadEdgeListStreaming(f, graph.LoadOptions{}, st)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return g, st, nil, nil
+		}
+	}
+	g, err := loadGraph(name, symmetric)
+	return g, nil, nil, err
+}
+
+func writeFlat(path string, g *graph.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := graph.WriteFlatBinary(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadGraph(name string, symmetric bool) (*graph.Graph, error) {

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"adp/internal/gen"
+	"adp/internal/graph"
+	"adp/internal/partitioner"
+)
+
+// ingestConfig is the big-graph data-plane workload: a 10M-edge
+// chunked power-law stream (1.25M vertices, average degree 8),
+// generated, CSR-built, and Fennel-partitioned in one pass. Output is
+// a pure function of this config — identical at every worker count —
+// so the series measures throughput, never placement drift.
+var ingestConfig = gen.PowerLawConfig{N: 1_250_000, AvgDeg: 8, Exponent: 2.3, Directed: true, Seed: 42}
+
+const ingestFragments = 8
+
+// addIngestSeries measures the end-to-end streaming ingest pipeline
+// (generate → parallel CSR build → streaming Fennel → flat partition)
+// and records the packed/compressed adjacency footprints of the
+// resulting 10M-edge graph.
+func addIngestSeries(rep *PerfReport, add func(string, testing.BenchmarkResult)) error {
+	var last *graph.Graph
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			nv, edges := gen.PowerLawChunkedEdges(ingestConfig, 0)
+			st := partitioner.NewFennelStream(ingestFragments, partitioner.FennelConfig{})
+			g, err := graph.BuildStreaming(nv, edges, false, graph.LoadOptions{}, st)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := st.Partition(g); err != nil {
+				b.Fatal(err)
+			}
+			last = g
+		}
+	})
+	add("ingest_10m", res)
+	if last == nil {
+		return fmt.Errorf("bench: ingest pipeline never ran")
+	}
+	ns := float64(res.T.Nanoseconds()) / float64(res.N)
+	if ns > 0 {
+		rep.IngestMEdgesPerSec = float64(last.NumEdges()) / 1e6 / (ns / 1e9)
+	}
+	// Byte-footprint series: ns/allocs are meaningless here, the
+	// payload is bytes_per_op — the packed flat CSR vs the delta-varint
+	// compressed encoding of the same adjacency.
+	rep.Results = append(rep.Results,
+		PerfResult{Name: "csr_bytes_packed", BytesPerOp: graph.FixedSizeBytes(last)},
+		PerfResult{Name: "csr_bytes_compressed", BytesPerOp: graph.CompressedSizeBytes(last)},
+	)
+	return nil
+}

@@ -76,6 +76,11 @@ type PerfReport struct {
 	// from a structural drift injected through the live update path to
 	// the maintenance loop's first validated epoch promotion.
 	DriftRecoverMs float64 `json:"drift_recover_ms"`
+	// IngestMEdgesPerSec is the end-to-end streaming ingest throughput
+	// of the ingest_10m series (chunked generation → parallel CSR build
+	// → streaming Fennel → flat partition) in millions of edges per
+	// second.
+	IngestMEdgesPerSec float64 `json:"ingest_medges_per_sec"`
 }
 
 // engineRunBaseline is the pre-flat-data-plane BenchmarkEngineRun
@@ -285,6 +290,12 @@ func Perf() (*PerfReport, error) {
 		return nil, err
 	}
 
+	// Big-graph data plane: the 10M-edge streaming ingest pipeline and
+	// the packed/compressed CSR footprints of the graph it produces.
+	if err := addIngestSeries(rep, add); err != nil {
+		return nil, err
+	}
+
 	// Probe-plane allocation check: marginal allocations of one
 	// parallelMigrate superstep on warmed per-run scratch (the
 	// zero-allocation probe plane contract).
@@ -422,6 +433,10 @@ func addStoreSeries(rep *PerfReport, add func(string, testing.BenchmarkResult), 
 	if err := s.Close(); err != nil {
 		return err
 	}
+	// The recovery loop itself churns ~17MB/op; collect the garbage the
+	// earlier series left behind so their heap watermark doesn't skew
+	// GC pacing inside the timed Opens.
+	runtime.GC()
 	add("store_recover", testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -462,23 +477,52 @@ func (r *PerfReport) resultFor(name string) *PerfResult {
 	return nil
 }
 
-// CompareAgainst gates this report against a prior BENCH_N.json: it
-// returns an error when this build's engine_run ns/op regressed by
-// more than maxRegress (a fraction; 0.20 = 20%) relative to the prior
-// report's engine_run. Series missing from either side are not an
-// error — a fresh series has no history to regress against.
+// Allocation and byte gates tolerate the relative slack plus a small
+// absolute floor, so tiny series (a handful of allocs, a few hundred
+// bytes) don't trip on scheduler or map-growth jitter.
+const (
+	allocGateFloor = 16
+	bytesGateFloor = 4096
+)
+
+// CompareAgainst gates this report against a prior BENCH_N.json. Two
+// families of gates run:
+//
+//   - engine_run ns/op must stay within maxRegress (a fraction; 0.20 =
+//     20%) of the prior report's — the original wall-time gate.
+//   - every series present in both reports must keep allocs_per_op and
+//     bytes_per_op within maxRegress of the prior value plus an
+//     absolute floor, so allocation regressions (which are
+//     deterministic, unlike wall time) can't ride in unnoticed on any
+//     series.
+//
+// Series missing from either side are not an error — a fresh series
+// has no history to regress against.
 func (r *PerfReport) CompareAgainst(prior io.Reader, maxRegress float64) error {
 	var old PerfReport
 	if err := json.NewDecoder(prior).Decode(&old); err != nil {
 		return fmt.Errorf("bench: decoding prior report: %w", err)
 	}
-	cur, prev := r.resultFor("engine_run"), old.resultFor("engine_run")
-	if cur == nil || prev == nil || prev.NsPerOp <= 0 {
-		return nil
+	if cur, prev := r.resultFor("engine_run"), old.resultFor("engine_run"); cur != nil && prev != nil && prev.NsPerOp > 0 {
+		if cur.NsPerOp > prev.NsPerOp*(1+maxRegress) {
+			return fmt.Errorf("bench: engine_run regressed %.1f%% (%.2fms/op now vs %.2fms/op prior, gate is +%.0f%%)",
+				(cur.NsPerOp/prev.NsPerOp-1)*100, cur.NsPerOp/1e6, prev.NsPerOp/1e6, maxRegress*100)
+		}
 	}
-	if cur.NsPerOp > prev.NsPerOp*(1+maxRegress) {
-		return fmt.Errorf("bench: engine_run regressed %.1f%% (%.2fms/op now vs %.2fms/op prior, gate is +%.0f%%)",
-			(cur.NsPerOp/prev.NsPerOp-1)*100, cur.NsPerOp/1e6, prev.NsPerOp/1e6, maxRegress*100)
+	for i := range r.Results {
+		cur := &r.Results[i]
+		prev := old.resultFor(cur.Name)
+		if prev == nil {
+			continue
+		}
+		if gate := int64(float64(prev.AllocsPerOp)*(1+maxRegress)) + allocGateFloor; cur.AllocsPerOp > gate {
+			return fmt.Errorf("bench: %s allocs/op regressed: %d now vs %d prior (gate %d)",
+				cur.Name, cur.AllocsPerOp, prev.AllocsPerOp, gate)
+		}
+		if gate := int64(float64(prev.BytesPerOp)*(1+maxRegress)) + bytesGateFloor; cur.BytesPerOp > gate {
+			return fmt.Errorf("bench: %s bytes/op regressed: %d now vs %d prior (gate %d)",
+				cur.Name, cur.BytesPerOp, prev.BytesPerOp, gate)
+		}
 	}
 	return nil
 }
@@ -509,6 +553,9 @@ func (r *PerfReport) Summary() string {
 	}
 	if r.DriftRecoverMs > 0 {
 		s += fmt.Sprintf(", drift recovery %.0fms", r.DriftRecoverMs)
+	}
+	if r.IngestMEdgesPerSec > 0 {
+		s += fmt.Sprintf(", ingest %.1fM edges/s", r.IngestMEdgesPerSec)
 	}
 	return s
 }

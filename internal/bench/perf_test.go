@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func reportWith(results ...PerfResult) *PerfReport {
+	return &PerfReport{Schema: "adp-bench/2", Results: results}
+}
+
+func encode(t *testing.T, r *PerfReport) *bytes.Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(buf.Bytes())
+}
+
+// TestCompareAgainstGates exercises every gate family: ns/op on
+// engine_run, allocs/op and bytes/op on any shared series, the jitter
+// floors, and the missing-series escape hatch.
+func TestCompareAgainstGates(t *testing.T) {
+	prior := reportWith(
+		PerfResult{Name: "engine_run", NsPerOp: 100e6, AllocsPerOp: 1000, BytesPerOp: 1 << 20},
+		PerfResult{Name: "csr_bytes_compressed", BytesPerOp: 40 << 20},
+		PerfResult{Name: "wal_append", NsPerOp: 10000, AllocsPerOp: 0, BytesPerOp: 300},
+	)
+	cases := []struct {
+		name string
+		cur  *PerfReport
+		want string // "" = must pass
+	}{
+		{"identical", prior, ""},
+		{"ns regression", reportWith(
+			PerfResult{Name: "engine_run", NsPerOp: 130e6, AllocsPerOp: 1000, BytesPerOp: 1 << 20},
+		), "engine_run regressed"},
+		{"alloc regression", reportWith(
+			PerfResult{Name: "engine_run", NsPerOp: 100e6, AllocsPerOp: 1300, BytesPerOp: 1 << 20},
+		), "engine_run allocs/op regressed"},
+		{"bytes regression", reportWith(
+			PerfResult{Name: "csr_bytes_compressed", BytesPerOp: 60 << 20},
+		), "csr_bytes_compressed bytes/op regressed"},
+		{"small jitter under floors", reportWith(
+			PerfResult{Name: "wal_append", NsPerOp: 10000, AllocsPerOp: 2, BytesPerOp: 900},
+		), ""},
+		{"fresh series skipped", reportWith(
+			PerfResult{Name: "ingest_10m", NsPerOp: 9e9, AllocsPerOp: 1 << 20, BytesPerOp: 1 << 30},
+		), ""},
+		{"improvement passes", reportWith(
+			PerfResult{Name: "engine_run", NsPerOp: 50e6, AllocsPerOp: 10, BytesPerOp: 1 << 10},
+			PerfResult{Name: "csr_bytes_compressed", BytesPerOp: 10 << 20},
+		), ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cur.CompareAgainst(encode(t, prior), 0.20)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected gate failure: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}

@@ -64,29 +64,53 @@ func New(g *graph.Graph, parts []*partition.Partition) (*Composite, error) {
 }
 
 // rebuildIndex recomputes cores and the coherence index from the
-// individual partitions.
+// individual partitions. Each fragment's k sorted arc-key lists are
+// k-way merged so every unique arc costs exactly one map insert with
+// its residual set and core bit already complete — on the recovery
+// path (all fragments frozen, arc arrays presorted) this replaces the
+// old get+set per arc occurrence plus a full rewrite pass, the
+// dominant hashing cost of reopening a store.
 func (c *Composite) rebuildIndex() {
 	c.coreArcs = make([]int, c.n)
 	c.index = make([]map[uint64]indexEntry, c.n)
+	full := residualSet(1<<uint(c.k) - 1)
+	lists := make([][]uint64, c.k)
+	pos := make([]int, c.k)
 	for i := 0; i < c.n; i++ {
-		idx := map[uint64]indexEntry{}
+		// Presize to the summed per-partition arc counts (an upper
+		// bound: shared arcs are counted once per partition) so the
+		// recovery path never pays incremental map growth.
+		est := 0
 		for j, p := range c.parts {
-			f := p.Fragment(i)
-			f.Vertices(func(v graph.VertexID, adj *partition.Adj) {
-				for _, w := range adj.Out {
-					k := arcKey(v, w)
-					e := idx[k]
-					e.residuals |= 1 << uint(j)
-					idx[k] = e
-				}
-			})
+			lists[j] = p.Fragment(i).AppendSortedArcKeys(lists[j][:0])
+			pos[j] = 0
+			est += len(lists[j])
 		}
-		full := residualSet(1<<uint(c.k) - 1)
-		for k, e := range idx {
+		idx := make(map[uint64]indexEntry, est)
+		for {
+			min, any := ^uint64(0), false
+			for j := 0; j < c.k; j++ {
+				if pos[j] < len(lists[j]) {
+					if k := lists[j][pos[j]]; !any || k < min {
+						min, any = k, true
+					}
+				}
+			}
+			if !any {
+				break
+			}
+			var e indexEntry
+			for j := 0; j < c.k; j++ {
+				if pos[j] < len(lists[j]) && lists[j][pos[j]] == min {
+					e.residuals |= 1 << uint(j)
+					pos[j]++
+				}
+			}
 			if e.residuals == full {
-				idx[k] = indexEntry{core: true}
+				e = indexEntry{core: true}
 				c.coreArcs[i]++
 			}
+			idx[min] = e
 		}
 		c.index[i] = idx
 	}

@@ -1,0 +1,113 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"adp/internal/graph"
+	"adp/internal/pool"
+)
+
+// Chunked generation: PowerLaw draws every sample from one sequential
+// rng, so it cannot parallelise without changing its output. The
+// chunked variant below fixes the sample space differently — the edge
+// stream is cut into fixed-size sample chunks, each driven by an rng
+// seeded from (Seed, chunk index) — so chunk c's edges are a pure
+// function of the config, never of the worker count or schedule.
+// PowerLawChunked(cfg, w) is therefore bitwise identical for every w,
+// which the ingest determinism sweep pins.
+
+// genChunkSamples is the fixed number of edge samples per generation
+// chunk; a function of the config only.
+const genChunkSamples = 1 << 16
+
+// PowerLawChunkedEdges generates the Chung–Lu edge stream of
+// PowerLawConfig in parallel chunks and returns the raw edges (self
+// loops already skipped, duplicates retained — Build dedups). The
+// slice layout and content depend only on cfg.
+func PowerLawChunkedEdges(cfg PowerLawConfig, workers int) (int, []graph.Edge) {
+	n := cfg.N
+	weights := make([]float64, n)
+	var total float64
+	alpha := 1.0 / (cfg.Exponent - 1.0)
+	for i := 0; i < n; i++ {
+		weights[i] = math.Pow(float64(i+1), -alpha)
+		total += weights[i]
+	}
+	cum := make([]float64, n)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		cum[i] = acc
+	}
+	sampleWith := func(rng *rand.Rand) graph.VertexID {
+		x := rng.Float64()
+		lo, hi := 0, n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return graph.VertexID(lo)
+	}
+	m := int(float64(n) * cfg.AvgDeg)
+	nchunks := (m + genChunkSamples - 1) / genChunkSamples
+	runs := make([][]graph.Edge, nchunks)
+	pl := pool.New(workers)
+	defer pl.Close()
+	pl.Run(nchunks, func(c int) {
+		lo, hi := c*genChunkSamples, min((c+1)*genChunkSamples, m)
+		rng := rand.New(rand.NewSource(cfg.Seed ^ int64(uint64(c)*0x9E3779B97F4A7C15)))
+		run := make([]graph.Edge, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			u, v := sampleWith(rng), sampleWith(rng)
+			if u == v {
+				continue
+			}
+			run = append(run, graph.Edge{Src: u, Dst: v})
+		}
+		runs[c] = run
+	})
+	edges := make([]graph.Edge, 0, m)
+	for _, r := range runs {
+		edges = append(edges, r...)
+	}
+	// Isolated-vertex fixup, sequential and seeded separately so it is
+	// schedule-independent: any vertex no sampled edge touched gets one
+	// outgoing edge to a sampled hub.
+	touched := make([]bool, n)
+	for _, e := range edges {
+		touched[e.Src] = true
+		touched[e.Dst] = true
+	}
+	fixRng := rand.New(rand.NewSource(cfg.Seed + 1))
+	for v := 0; v < n; v++ {
+		if !touched[v] {
+			w := sampleWith(fixRng)
+			if w == graph.VertexID(v) {
+				w = graph.VertexID((v + 1) % n)
+			}
+			edges = append(edges, graph.Edge{Src: graph.VertexID(v), Dst: w})
+		}
+	}
+	return n, edges
+}
+
+// PowerLawChunked builds the chunked-generation power-law graph with a
+// parallel CSR build. Output is a pure function of cfg — identical for
+// every workers value — but differs from PowerLaw(cfg), whose stream
+// comes from one sequential rng.
+func PowerLawChunked(cfg PowerLawConfig, workers int) *graph.Graph {
+	n, edges := PowerLawChunkedEdges(cfg, workers)
+	pl := pool.New(workers)
+	defer pl.Close()
+	g, err := graph.FromEdgesParallel(n, edges, !cfg.Directed, pl)
+	if err != nil {
+		// Generated endpoints are in range by construction.
+		panic(err)
+	}
+	return g
+}

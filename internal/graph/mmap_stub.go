@@ -1,0 +1,16 @@
+//go:build !unix
+
+package graph
+
+import "fmt"
+
+// Mapping is a placeholder on platforms without mmap support.
+type Mapping struct{}
+
+// Close is a no-op on platforms without mmap support.
+func (m *Mapping) Close() error { return nil }
+
+// MapFlatBinary is unavailable on this platform; use ReadFlatBinary.
+func MapFlatBinary(path string) (*Graph, *Mapping, error) {
+	return nil, nil, fmt.Errorf("graph: mmap unsupported on this platform; use ReadFlatBinary")
+}

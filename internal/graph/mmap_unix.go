@@ -1,0 +1,93 @@
+//go:build unix
+
+package graph
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// Mapping owns the mmap'd bytes backing a flat-format Graph. The Graph
+// returned by MapFlatBinary aliases the mapping; Close unmaps it and
+// every adjacency slice becomes invalid, so close only after the graph
+// is no longer referenced.
+type Mapping struct {
+	data []byte
+}
+
+// Close unmaps the file.
+func (m *Mapping) Close() error {
+	if m == nil || m.data == nil {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	return syscall.Munmap(data)
+}
+
+// MapFlatBinary memory-maps a WriteFlatBinary file read-only and
+// returns a Graph whose four CSR arrays alias the mapping — zero
+// copies, zero decode, resident pages shared across processes. The
+// whole file is validated (see validateFlat) before the graph is
+// returned, so a corrupt file yields an error, never a panic in some
+// later traversal. The caller must keep the Mapping alive for the
+// graph's lifetime and Close it afterwards.
+func MapFlatBinary(path string) (*Graph, *Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size < flatHeaderLen {
+		return nil, nil, fmt.Errorf("graph: flat file is %d bytes, want at least %d", size, flatHeaderLen)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("graph: mmap %s: %w", path, err)
+	}
+	mp := &Mapping{data: data}
+	g, err := flatFromBytes(data)
+	if err != nil {
+		mp.Close()
+		return nil, nil, err
+	}
+	return g, mp, nil
+}
+
+// flatFromBytes builds the aliasing Graph over a flat-format byte
+// image. Only valid on little-endian hosts (every supported target);
+// the arrays are reinterpreted in place.
+func flatFromBytes(data []byte) (*Graph, error) {
+	flags, n, m, err := parseFlatHeader(data[:flatHeaderLen])
+	if err != nil {
+		return nil, err
+	}
+	need := int64(flatHeaderLen) + 2*8*int64(n+1) + 2*4*m
+	if int64(len(data)) != need {
+		return nil, fmt.Errorf("graph: flat file is %d bytes, header implies %d", len(data), need)
+	}
+	g := &Graph{n: n, undirected: flags&1 != 0}
+	off := int64(flatHeaderLen)
+	g.outIndex = unsafe.Slice((*int64)(unsafe.Pointer(&data[off])), n+1)
+	off += 8 * int64(n+1)
+	g.inIndex = unsafe.Slice((*int64)(unsafe.Pointer(&data[off])), n+1)
+	off += 8 * int64(n+1)
+	if m > 0 {
+		g.outAdj = unsafe.Slice((*VertexID)(unsafe.Pointer(&data[off])), m)
+		off += 4 * m
+		g.inAdj = unsafe.Slice((*VertexID)(unsafe.Pointer(&data[off])), m)
+	} else {
+		g.outAdj, g.inAdj = []VertexID{}, []VertexID{}
+	}
+	if err := validateFlat(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

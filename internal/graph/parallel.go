@@ -1,0 +1,481 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"runtime"
+	"slices"
+	"strconv"
+	"strings"
+
+	"adp/internal/pool"
+)
+
+// Big-graph ingestion: the sequential Builder walks every edge twice
+// through a sort of the whole arc slice, which dominates wall time on
+// 10M-edge inputs. The parallel path below splits the work into
+// data-determined chunks (fixed byte/arc extents, never dependent on
+// the worker count), processes chunks on an internal/pool instance,
+// and merges per-chunk results with a deterministic k-way merge — so
+// the resulting Graph is bitwise identical for any Workers value,
+// including 1, and identical to what the sequential Builder produces.
+
+// LoadOptions tunes the parallel ingestion paths.
+type LoadOptions struct {
+	// Workers bounds the pool; <= 0 uses GOMAXPROCS.
+	Workers int
+	// ChunkBytes is the target text-chunk size for ParallelReadEdgeList;
+	// <= 0 selects 4 MiB. Chunk boundaries extend to the next newline,
+	// so they are a function of the input bytes only.
+	ChunkBytes int
+}
+
+func (o LoadOptions) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+func (o LoadOptions) chunkBytes() int {
+	if o.ChunkBytes <= 0 {
+		return 4 << 20
+	}
+	return o.ChunkBytes
+}
+
+// arcChunk is the fixed arc-extent processed per pool task when
+// sorting and expanding edge slices; a function of the data size only.
+const arcChunk = 1 << 17
+
+// textChunk is one newline-aligned byte range of an edge-list input.
+type textChunk struct {
+	data      []byte
+	firstLine int // 1-based global line number of the chunk's first line
+}
+
+// parsedChunk is the outcome of parsing one textChunk.
+type parsedChunk struct {
+	edges      []Edge
+	maxV       VertexID
+	headerN    int  // last header's vertex count, -1 if none
+	headerDir  bool // last header's undirected flag
+	sawHeader  bool
+	err        error
+	undirected bool
+}
+
+// splitLines reads r fully and cuts it into newline-aligned chunks of
+// roughly chunkBytes each, recording global first-line numbers so
+// parse errors keep exact line attribution.
+func splitLines(r io.Reader, chunkBytes int) ([]textChunk, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var chunks []textChunk
+	line := 1
+	for {
+		buf := make([]byte, chunkBytes)
+		n, err := io.ReadFull(br, buf)
+		buf = buf[:n]
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			if len(buf) > 0 {
+				chunks = append(chunks, textChunk{data: buf, firstLine: line})
+			}
+			return chunks, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		// Extend to the end of the current line.
+		tail, rerr := br.ReadBytes('\n')
+		buf = append(buf, tail...)
+		chunks = append(chunks, textChunk{data: buf, firstLine: line})
+		for _, b := range buf {
+			if b == '\n' {
+				line++
+			}
+		}
+		if rerr == io.EOF {
+			return chunks, nil
+		}
+		if rerr != nil {
+			return nil, rerr
+		}
+	}
+}
+
+// parseChunk parses one newline-aligned byte range with the exact
+// per-line grammar of ReadEdgeList. Range checks against a declared n
+// happen at merge time (the header may live in another chunk).
+func parseChunk(c textChunk) parsedChunk {
+	out := parsedChunk{headerN: -1}
+	lineNo := c.firstLine - 1
+	data := c.data
+	for len(data) > 0 {
+		lineNo++
+		nl := -1
+		for i, b := range data {
+			if b == '\n' {
+				nl = i
+				break
+			}
+		}
+		var raw []byte
+		if nl < 0 {
+			raw, data = data, nil
+		} else {
+			raw, data = data[:nl], data[nl+1:]
+		}
+		line := strings.TrimSpace(string(raw))
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "vertices" {
+				v, err := strconv.Atoi(fields[2])
+				if err != nil {
+					out.err = fmt.Errorf("graph: line %d: bad header vertex count: %w", lineNo, err)
+					return out
+				}
+				if v < 0 || v > maxDeclaredVertices {
+					out.err = fmt.Errorf("graph: line %d: header declares %d vertices (cap %d)", lineNo, v, maxDeclaredVertices)
+					return out
+				}
+				out.headerN = v
+				out.headerDir = fields[3] == "undirected"
+				out.sawHeader = true
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			out.err = fmt.Errorf("graph: line %d: expected 'src dst'", lineNo)
+			return out
+		}
+		s, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			out.err = fmt.Errorf("graph: line %d: bad src: %w", lineNo, err)
+			return out
+		}
+		d, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			out.err = fmt.Errorf("graph: line %d: bad dst: %w", lineNo, err)
+			return out
+		}
+		e := Edge{VertexID(s), VertexID(d)}
+		if e.Src > out.maxV {
+			out.maxV = e.Src
+		}
+		if e.Dst > out.maxV {
+			out.maxV = e.Dst
+		}
+		out.edges = append(out.edges, e)
+	}
+	return out
+}
+
+// ParallelReadEdgeList parses the WriteEdgeList/SNAP text format with
+// chunked parallel parsing and a parallel CSR build. The result is
+// bitwise identical to ReadEdgeList for well-formed inputs (header, if
+// any, preceding out-of-range data) and independent of opt.Workers.
+func ParallelReadEdgeList(r io.Reader, opt LoadOptions) (*Graph, error) {
+	pl := pool.New(opt.workers())
+	defer pl.Close()
+	n, edges, undirected, err := parseEdgeListChunks(r, opt, pl)
+	if err != nil {
+		return nil, err
+	}
+	return FromEdgesParallel(n, edges, undirected, pl)
+}
+
+// ParallelReadEdgeListStreaming is ParallelReadEdgeList fused with
+// BuildStreaming: the text is parsed chunk-parallel and the consumer
+// receives every finished forward star during the build — the one-pass
+// load-and-partition path for edge-list files.
+func ParallelReadEdgeListStreaming(r io.Reader, opt LoadOptions, consume VertexConsumer) (*Graph, error) {
+	pl := pool.New(opt.workers())
+	n, edges, undirected, err := parseEdgeListChunks(r, opt, pl)
+	pl.Close()
+	if err != nil {
+		return nil, err
+	}
+	return BuildStreaming(n, edges, undirected, opt, consume)
+}
+
+// parseEdgeListChunks runs the chunk-parallel text parse and header
+// merge shared by the parallel readers, returning the declared (or
+// inferred) vertex count and the raw edge stream in input order.
+func parseEdgeListChunks(r io.Reader, opt LoadOptions, pl *pool.Pool) (int, []Edge, bool, error) {
+	chunks, err := splitLines(r, opt.chunkBytes())
+	if err != nil {
+		return 0, nil, false, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	parsed := pool.Map(pl, len(chunks), func(i int) parsedChunk {
+		return parseChunk(chunks[i])
+	})
+	n := -1
+	undirected := false
+	maxV := VertexID(0)
+	total := 0
+	for _, pc := range parsed {
+		if pc.err != nil {
+			return 0, nil, false, pc.err
+		}
+		if pc.sawHeader {
+			n = pc.headerN
+			undirected = pc.headerDir
+		}
+		if pc.maxV > maxV {
+			maxV = pc.maxV
+		}
+		total += len(pc.edges)
+	}
+	edges := make([]Edge, 0, total)
+	for _, pc := range parsed {
+		edges = append(edges, pc.edges...)
+	}
+	if n >= 0 {
+		for _, e := range edges {
+			if int64(e.Src) >= int64(n) || int64(e.Dst) >= int64(n) {
+				return 0, nil, false, fmt.Errorf("graph: edge (%d,%d) out of declared range [0,%d)", e.Src, e.Dst, n)
+			}
+		}
+	} else {
+		n = int(maxV) + 1
+		if len(edges) == 0 {
+			n = 0
+		}
+	}
+	return n, edges, undirected, nil
+}
+
+// FromEdgesParallel builds the same Graph as FromEdges — bitwise — by
+// expanding, sorting, and filling the CSR in parallel on pl. Chunk
+// extents depend only on len(edges), so the output does not vary with
+// the pool's worker count.
+func FromEdgesParallel(n int, edges []Edge, undirected bool, pl *pool.Pool) (*Graph, error) {
+	if len(edges) == 0 {
+		return FromEdges(n, nil, undirected)
+	}
+	arcs, err := expandSortMerge(n, edges, undirected, pl)
+	if err != nil {
+		return nil, err
+	}
+
+	g := &Graph{n: n, undirected: undirected}
+	g.outIndex = make([]int64, n+1)
+	for _, e := range arcs {
+		g.outIndex[e.Src+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.outIndex[v+1] += g.outIndex[v]
+	}
+	// Sorted by (src,dst), the out-adjacency is simply the dst column.
+	g.outAdj = make([]VertexID, len(arcs))
+	pl.RunChunks(len(arcs), arcChunk, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g.outAdj[i] = arcs[i].Dst
+		}
+	})
+	g.buildInAdjacency(arcs)
+	return g, nil
+}
+
+// expandSortMerge bounds-checks edges, expands them per fixed-extent
+// chunk (loop drop + symmetrise), sorts each chunk, and k-way-merges
+// the sorted runs into one sorted duplicate-free arc slice — the same
+// arcs Builder.Build derives, computed chunk-parallel.
+func expandSortMerge(n int, edges []Edge, undirected bool, pl *pool.Pool) ([]Edge, error) {
+	nchunks := (len(edges) + arcChunk - 1) / arcChunk
+	if nchunks == 0 {
+		return nil, nil
+	}
+	errs := make([]error, nchunks)
+	runs := make([][]Edge, nchunks)
+	pl.Run(nchunks, func(c int) {
+		lo, hi := c*arcChunk, min((c+1)*arcChunk, len(edges))
+		for _, e := range edges[lo:hi] {
+			if int(e.Src) >= n || int(e.Dst) >= n {
+				errs[c] = fmt.Errorf("graph: edge (%d,%d) out of range for n=%d", e.Src, e.Dst, n)
+				return
+			}
+		}
+		run := make([]Edge, 0, (hi-lo)*2)
+		for _, e := range edges[lo:hi] {
+			if e.Src == e.Dst {
+				continue
+			}
+			run = append(run, e)
+			if undirected {
+				run = append(run, Edge{e.Dst, e.Src})
+			}
+		}
+		slices.SortFunc(run, cmpEdge)
+		runs[c] = run
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return mergeRuns(runs), nil
+}
+
+// buildInAdjacency fills inIndex/inAdj from sorted deduped arcs; the
+// arc-order scatter yields sorted in-lists (sources ascend per
+// destination bucket), matching Builder.Build.
+func (g *Graph) buildInAdjacency(arcs []Edge) {
+	g.inIndex = make([]int64, g.n+1)
+	g.inAdj = make([]VertexID, len(arcs))
+	for _, e := range arcs {
+		g.inIndex[e.Dst+1]++
+	}
+	for v := 0; v < g.n; v++ {
+		g.inIndex[v+1] += g.inIndex[v]
+	}
+	cursor := make([]int64, g.n)
+	copy(cursor, g.inIndex[:g.n])
+	for _, e := range arcs {
+		g.inAdj[cursor[e.Dst]] = e.Src
+		cursor[e.Dst]++
+	}
+}
+
+func cmpEdge(a, b Edge) int {
+	if a.Src != b.Src {
+		if a.Src < b.Src {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case a.Dst < b.Dst:
+		return -1
+	case a.Dst > b.Dst:
+		return 1
+	}
+	return 0
+}
+
+// mergeRuns k-way-merges sorted runs into one sorted duplicate-free
+// slice. The result depends only on the multiset of arcs, so any run
+// partitioning — and therefore any worker count — converges to the
+// same bytes.
+func mergeRuns(runs [][]Edge) []Edge {
+	total := 0
+	live := runs[:0]
+	for _, r := range runs {
+		if len(r) > 0 {
+			live = append(live, r)
+			total += len(r)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	if len(live) == 1 {
+		return dedupSorted(live[0])
+	}
+	// Small binary heap keyed by each run's head arc.
+	heap := make([]int, len(live)) // indexes into live
+	pos := make([]int, len(live))
+	for i := range heap {
+		heap[i] = i
+	}
+	less := func(a, b int) bool {
+		ea, eb := live[a][pos[a]], live[b][pos[b]]
+		if c := cmpEdge(ea, eb); c != 0 {
+			return c < 0
+		}
+		return a < b
+	}
+	var down func(i, n int)
+	down = func(i, n int) {
+		for {
+			l := 2*i + 1
+			if l >= n {
+				return
+			}
+			j := l
+			if r := l + 1; r < n && less(heap[r], heap[l]) {
+				j = r
+			}
+			if !less(heap[j], heap[i]) {
+				return
+			}
+			heap[i], heap[j] = heap[j], heap[i]
+			i = j
+		}
+	}
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		down(i, len(heap))
+	}
+	out := make([]Edge, 0, total)
+	hn := len(heap)
+	for hn > 0 {
+		r := heap[0]
+		e := live[r][pos[r]]
+		if len(out) == 0 || out[len(out)-1] != e {
+			out = append(out, e)
+		}
+		pos[r]++
+		if pos[r] == len(live[r]) {
+			heap[0] = heap[hn-1]
+			hn--
+		}
+		down(0, hn)
+	}
+	return out
+}
+
+// VertexConsumer receives the finished forward stars of a streaming
+// build in ascending id order. Begin runs before the first Vertex call
+// with the final vertex and arc counts (streaming partitioners need
+// |E| for their objective before the first placement).
+type VertexConsumer interface {
+	Begin(nv int, m int64)
+	Vertex(v VertexID, out []VertexID)
+}
+
+// BuildStreaming is FromEdgesParallel with a consumer bolted onto the
+// out-CSR: once the forward stars are final it streams every vertex to
+// consume in id order while the in-adjacency builds concurrently, so a
+// one-pass streaming partitioner runs during — not after — ingestion.
+// The consumer sees exactly the adjacency the finished graph will
+// expose (sorted, deduped, loops dropped).
+func BuildStreaming(n int, edges []Edge, undirected bool, opt LoadOptions, consume VertexConsumer) (*Graph, error) {
+	pl := pool.New(opt.workers())
+	defer pl.Close()
+	arcs, err := expandSortMerge(n, edges, undirected, pl)
+	if err != nil {
+		return nil, err
+	}
+	g := &Graph{n: n, undirected: undirected}
+	g.outIndex = make([]int64, n+1)
+	for _, e := range arcs {
+		g.outIndex[e.Src+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.outIndex[v+1] += g.outIndex[v]
+	}
+	g.outAdj = make([]VertexID, len(arcs))
+	for i, e := range arcs {
+		g.outAdj[i] = e.Dst
+	}
+	// Overlap: the consumer streams forward stars on this goroutine
+	// while the in-adjacency scatter proceeds on a helper.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		g.buildInAdjacency(arcs)
+	}()
+	if consume != nil {
+		consume.Begin(n, int64(len(arcs)))
+		for v := 0; v < n; v++ {
+			consume.Vertex(VertexID(v), g.outAdj[g.outIndex[v]:g.outIndex[v+1]])
+		}
+	}
+	<-done
+	return g, nil
+}

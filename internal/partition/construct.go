@@ -98,6 +98,17 @@ func (p *Partition) Clone() *Partition {
 		q.copies[v] = append([]int32(nil), cs...)
 	}
 	for i, f := range p.frags {
+		if f.frozen() {
+			// Frozen fragments share their immutable compiled and
+			// compressed forms: a mutation on either clone thaws fresh
+			// maps and drops only that clone's pointers, so sharing is
+			// safe and cloning a cold partition costs nothing per arc.
+			nf := &Fragment{id: i}
+			nf.cf.Store(f.cf.Load())
+			nf.czf.Store(f.czf.Load())
+			q.frags[i] = nf
+			continue
+		}
 		nf := &Fragment{id: i, verts: make(map[graph.VertexID]*Adj, len(f.verts)), arcs: make(map[uint64]struct{}, len(f.arcs))}
 		for v, adj := range f.verts {
 			nf.verts[v] = &Adj{
@@ -139,30 +150,33 @@ func (p *Partition) Validate() error {
 	covered := make(map[uint64]bool, p.g.NumEdges())
 	for i, f := range p.frags {
 		var localArcs int
-		for v, adj := range f.verts {
+		var verr error
+		f.Vertices(func(v graph.VertexID, adj *Adj) {
+			if verr != nil {
+				return
+			}
 			for _, w := range adj.Out {
 				if !p.g.HasEdge(v, w) {
-					return fmt.Errorf("partition: fragment %d stores arc (%d,%d) not in G", i, v, w)
+					verr = fmt.Errorf("partition: fragment %d stores arc (%d,%d) not in G", i, v, w)
+					return
 				}
 				if !f.HasArc(v, w) {
-					return fmt.Errorf("partition: fragment %d adjacency/arc-set mismatch at (%d,%d)", i, v, w)
+					verr = fmt.Errorf("partition: fragment %d adjacency/arc-set mismatch at (%d,%d)", i, v, w)
+					return
 				}
 				covered[arcKey(v, w)] = true
 				localArcs++
 				if p.g.Undirected() && !f.HasArc(w, v) {
-					return fmt.Errorf("partition: fragment %d splits undirected edge {%d,%d}", i, v, w)
+					verr = fmt.Errorf("partition: fragment %d splits undirected edge {%d,%d}", i, v, w)
+					return
 				}
 			}
 			for _, w := range adj.In {
 				if !f.HasArc(w, v) {
-					return fmt.Errorf("partition: fragment %d in-adjacency lists absent arc (%d,%d)", i, w, v)
+					verr = fmt.Errorf("partition: fragment %d in-adjacency lists absent arc (%d,%d)", i, w, v)
+					return
 				}
 			}
-		}
-		if localArcs != f.NumArcs() {
-			return fmt.Errorf("partition: fragment %d arc count mismatch: adjacency %d, set %d", i, localArcs, f.NumArcs())
-		}
-		for v := range f.verts {
 			found := false
 			for _, c := range p.copies[v] {
 				if int(c) == i {
@@ -171,8 +185,14 @@ func (p *Partition) Validate() error {
 				}
 			}
 			if !found {
-				return fmt.Errorf("partition: copies index misses vertex %d in fragment %d", v, i)
+				verr = fmt.Errorf("partition: copies index misses vertex %d in fragment %d", v, i)
 			}
+		})
+		if verr != nil {
+			return verr
+		}
+		if localArcs != f.NumArcs() {
+			return fmt.Errorf("partition: fragment %d arc count mismatch: adjacency %d, set %d", i, localArcs, f.NumArcs())
 		}
 	}
 	var missing int64

@@ -55,9 +55,14 @@ type compiledFragment struct {
 func (p *Partition) Compile() *Partition {
 	nv := p.g.NumVertices()
 	for _, f := range p.frags {
-		if f.cf.Load() == nil {
-			f.cf.Store(compileFragment(f, nv))
+		if f.cf.Load() != nil {
+			continue
 		}
+		if z := f.czf.Load(); z != nil {
+			f.cf.Store(z.inflate())
+			continue
+		}
+		f.cf.Store(compileFragment(f, nv))
 	}
 	return p
 }
@@ -66,9 +71,14 @@ func (p *Partition) Compile() *Partition {
 // execution form.
 func (f *Fragment) Compiled() bool { return f.cf.Load() != nil }
 
-// invalidate drops the compiled form; called by every structural
-// mutator so the map form stays the single source of truth.
-func (f *Fragment) invalidate() { f.cf.Store(nil) }
+// invalidate drops the compiled and compressed forms; called by every
+// structural mutator so the map form stays the single source of truth.
+// Mutators thaw frozen fragments first (ensureMutable), so the maps
+// always exist by the time this runs.
+func (f *Fragment) invalidate() {
+	f.cf.Store(nil)
+	f.czf.Store(nil)
+}
 
 func compileFragment(f *Fragment, numVertices int) *compiledFragment {
 	c := &compiledFragment{
@@ -108,6 +118,13 @@ func compileFragment(f *Fragment, numVertices int) *compiledFragment {
 		c.arcs = append(c.arcs, k)
 	}
 	sort.Slice(c.arcs, func(i, j int) bool { return c.arcs[i] < c.arcs[j] })
+	c.buildArcOff()
+	return c
+}
+
+// buildArcOff derives the per-source offsets into the sorted arc
+// array; ids and arcs must already be populated and sorted.
+func (c *compiledFragment) buildArcOff() {
 	c.arcOff = make([]int32, len(c.ids)+1)
 	a := 0
 	for l, id := range c.ids {
@@ -121,7 +138,6 @@ func compileFragment(f *Fragment, numVertices int) *compiledFragment {
 		}
 	}
 	c.arcOff[len(c.ids)] = int32(len(c.arcs))
-	return c
 }
 
 // hasArc probes the compiled arc array: O(1) source remap plus a
@@ -160,7 +176,7 @@ func (c *compiledFragment) arcIndex(u, v graph.VertexID) (int, bool) {
 // algorithms use it to keep per-vertex state in dense slices instead
 // of maps.
 func (f *Fragment) LocalIndex(v graph.VertexID) int {
-	c := f.cf.Load()
+	c := f.compiled()
 	if int(v) >= len(c.local) {
 		return -1
 	}
@@ -169,7 +185,7 @@ func (f *Fragment) LocalIndex(v graph.VertexID) int {
 
 // VertexAt returns the vertex with compiled local id l (the inverse of
 // LocalIndex). Only valid on a compiled fragment.
-func (f *Fragment) VertexAt(l int) graph.VertexID { return f.cf.Load().ids[l] }
+func (f *Fragment) VertexAt(l int) graph.VertexID { return f.compiled().ids[l] }
 
 // LocalRemap returns a copy of the compiled local-id remap padded to
 // numVertices (-1 for vertices with no copy here) plus the number of
@@ -177,7 +193,7 @@ func (f *Fragment) VertexAt(l int) graph.VertexID { return f.cf.Load().ids[l] }
 // The cost tracker seeds its dense contribution slabs from it, so on a
 // compiled partition the slabs start compact instead of graph-wide.
 func (f *Fragment) LocalRemap(numVertices int) ([]int32, int) {
-	c := f.cf.Load()
+	c := f.compiled()
 	if c == nil {
 		return nil, 0
 	}
@@ -193,19 +209,19 @@ func (f *Fragment) LocalRemap(numVertices int) ([]int32, int) {
 // engine's responsibility bitsets use — and whether the arc is stored
 // locally. Only valid on a compiled fragment.
 func (f *Fragment) ArcIndex(u, v graph.VertexID) (int, bool) {
-	return f.cf.Load().arcIndex(u, v)
+	return f.compiled().arcIndex(u, v)
 }
 
 // NumArcSlots returns the compiled arc-array length (equal to NumArcs;
 // the engine sizes its responsibility bitsets with it). Only valid on
-// a compiled fragment.
-func (f *Fragment) NumArcSlots() int { return len(f.cf.Load().arcs) }
+// a compiled or compressed fragment (the latter inflates on demand).
+func (f *Fragment) NumArcSlots() int { return len(f.compiled().arcs) }
 
 // ArcSlots calls fn for every compiled arc slot in ascending key
 // order, decoding the (u,v) endpoints. Only valid on a compiled
 // fragment.
 func (f *Fragment) ArcSlots(fn func(slot int, u, v graph.VertexID)) {
-	for k, key := range f.cf.Load().arcs {
+	for k, key := range f.compiled().arcs {
 		fn(k, graph.VertexID(key>>32), graph.VertexID(key&0xffffffff))
 	}
 }

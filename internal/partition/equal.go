@@ -27,15 +27,26 @@ func (p *Partition) EqualPlacement(q *Partition) error {
 		if pf.NumArcs() != qf.NumArcs() {
 			return fmt.Errorf("partition: fragment %d holds %d arcs vs %d", i, pf.NumArcs(), qf.NumArcs())
 		}
-		for k := range pf.arcs {
-			if _, ok := qf.arcs[k]; !ok {
-				return fmt.Errorf("partition: fragment %d arc (%d,%d) missing from other", i, uint32(k>>32), uint32(k))
+		var diverged error
+		pf.eachArcKey(func(k uint64) bool {
+			if !qf.hasArcKey(k) {
+				diverged = fmt.Errorf("partition: fragment %d arc (%d,%d) missing from other", i, uint32(k>>32), uint32(k))
+				return false
 			}
+			return true
+		})
+		if diverged != nil {
+			return diverged
 		}
-		for v := range pf.verts {
-			if _, ok := qf.verts[v]; !ok {
-				return fmt.Errorf("partition: fragment %d vertex %d missing from other", i, v)
+		pf.eachVertexID(func(v graph.VertexID) bool {
+			if !qf.Has(v) {
+				diverged = fmt.Errorf("partition: fragment %d vertex %d missing from other", i, v)
+				return false
 			}
+			return true
+		})
+		if diverged != nil {
+			return diverged
 		}
 	}
 	for v := range p.master {

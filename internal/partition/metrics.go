@@ -17,11 +17,12 @@ type Metrics struct {
 // vertex copies in fragment i: the |Vi| used by fv and λv.
 func (p *Partition) NonDummyCount(i int) int {
 	count := 0
-	for v := range p.frags[i].verts {
+	p.frags[i].eachVertexID(func(v graph.VertexID) bool {
 		if s := p.Status(i, v); s == ECutNode || s == VCutNode {
 			count++
 		}
-	}
+		return true
+	})
 	return count
 }
 

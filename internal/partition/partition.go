@@ -64,11 +64,16 @@ func (a *Adj) LocalDegree() int { return len(a.Out) + len(a.In) }
 // arcs of G as per-vertex adjacency plus an arc-set index for O(1)
 // membership tests.
 //
-// A Fragment has two representations: the mutable map form the
-// constructors and refiners build against, and a flat compiled form
-// (see Compile) the execution engine reads. The maps stay
-// authoritative — the compiled form is a cache dropped by every
-// structural mutation.
+// A Fragment has three representations: the mutable map form the
+// constructors and refiners build against, a flat compiled form (see
+// Compile) the execution engine reads, and a delta-varint compressed
+// form (see CompileCompressed) for cold storage. While the maps exist
+// they stay authoritative — the compiled form is then a cache dropped
+// by every structural mutation. A fragment may also be frozen
+// (verts == nil): the flat loaders and the compressed lifecycle build
+// the compiled/compressed form directly and skip the maps entirely;
+// the first structural mutation thaws the maps back into existence
+// (ensureMutable), so every mutator keeps working unchanged.
 type Fragment struct {
 	id    int
 	verts map[graph.VertexID]*Adj
@@ -76,6 +81,57 @@ type Fragment struct {
 	// cf caches the compiled form; atomic because concurrent cluster
 	// constructions may Compile a shared baseline partition.
 	cf atomic.Pointer[compiledFragment]
+	// czf holds the delta-varint compressed form; when set and cf is
+	// nil, accessors needing random access inflate it on first use.
+	czf atomic.Pointer[compressedFragment]
+}
+
+// frozen reports whether the fragment currently has no mutable map
+// form (compiled/compressed representation only).
+func (f *Fragment) frozen() bool { return f.verts == nil }
+
+// compiled returns the flat form, inflating the compressed form when
+// that is all the fragment carries. Returns nil on a map-only
+// fragment. Racing inflations store interchangeable values, matching
+// the Compile contract.
+func (f *Fragment) compiled() *compiledFragment {
+	if c := f.cf.Load(); c != nil {
+		return c
+	}
+	if z := f.czf.Load(); z != nil {
+		c := z.inflate()
+		f.cf.Store(c)
+		return c
+	}
+	return nil
+}
+
+// ensureMutable rebuilds the map form of a frozen fragment so a
+// structural mutator can proceed. Adjacency slices are copied out of
+// the packed arrays: clones may share the immutable compiled form, so
+// in-place mutation of its storage is never allowed.
+func (f *Fragment) ensureMutable() {
+	if f.verts != nil {
+		return
+	}
+	c := f.compiled()
+	verts := make(map[graph.VertexID]*Adj, len(c.ids))
+	for l, v := range c.ids {
+		adj := &Adj{}
+		if len(c.adjs[l].Out) > 0 {
+			adj.Out = append([]graph.VertexID(nil), c.adjs[l].Out...)
+		}
+		if len(c.adjs[l].In) > 0 {
+			adj.In = append([]graph.VertexID(nil), c.adjs[l].In...)
+		}
+		verts[v] = adj
+	}
+	arcs := make(map[uint64]struct{}, len(c.arcs))
+	for _, k := range c.arcs {
+		arcs[k] = struct{}{}
+	}
+	f.verts, f.arcs = verts, arcs
+	// cf stays valid until the caller's mutation invalidates it.
 }
 
 func arcKey(u, v graph.VertexID) uint64 { return uint64(u)<<32 | uint64(v) }
@@ -84,14 +140,39 @@ func arcKey(u, v graph.VertexID) uint64 { return uint64(u)<<32 | uint64(v) }
 func (f *Fragment) ID() int { return f.id }
 
 // NumArcs returns |Ei|, the number of arcs stored in the fragment.
-func (f *Fragment) NumArcs() int { return len(f.arcs) }
+func (f *Fragment) NumArcs() int {
+	if f.frozen() {
+		if z := f.czf.Load(); z != nil {
+			return z.numArcs
+		}
+		return len(f.cf.Load().arcs)
+	}
+	return len(f.arcs)
+}
 
 // NumVertices returns the number of vertex copies (including dummies)
 // present in the fragment.
-func (f *Fragment) NumVertices() int { return len(f.verts) }
+func (f *Fragment) NumVertices() int {
+	if f.frozen() {
+		if z := f.czf.Load(); z != nil {
+			return len(z.ids)
+		}
+		return len(f.cf.Load().ids)
+	}
+	return len(f.verts)
+}
 
 // Has reports whether a copy of v is present.
 func (f *Fragment) Has(v graph.VertexID) bool {
+	if f.frozen() {
+		if c := f.cf.Load(); c != nil {
+			return int(v) < len(c.local) && c.local[v] >= 0
+		}
+		// Binary search the compressed id array; no inflation needed.
+		ids := f.czf.Load().ids
+		i := sort.Search(len(ids), func(k int) bool { return ids[k] >= v })
+		return i < len(ids) && ids[i] == v
+	}
 	_, ok := f.verts[v]
 	return ok
 }
@@ -102,13 +183,20 @@ func (f *Fragment) HasArc(u, v graph.VertexID) bool {
 	if c := f.cf.Load(); c != nil {
 		return c.hasArc(u, v)
 	}
+	if f.frozen() {
+		return f.compiled().hasArc(u, v)
+	}
 	_, ok := f.arcs[arcKey(u, v)]
 	return ok
 }
 
 // Adjacency returns the local adjacency of v, or nil if absent.
 func (f *Fragment) Adjacency(v graph.VertexID) *Adj {
-	if c := f.cf.Load(); c != nil {
+	c := f.cf.Load()
+	if c == nil && f.frozen() {
+		c = f.compiled()
+	}
+	if c != nil {
 		if int(v) >= len(c.local) {
 			return nil
 		}
@@ -126,7 +214,11 @@ func (f *Fragment) Adjacency(v graph.VertexID) *Adj {
 // compiled fragment this walks the prebuilt id array (no per-call
 // sort, no map access).
 func (f *Fragment) Vertices(fn func(v graph.VertexID, adj *Adj)) {
-	if c := f.cf.Load(); c != nil {
+	c := f.cf.Load()
+	if c == nil && f.frozen() {
+		c = f.compiled()
+	}
+	if c != nil {
 		for l, v := range c.ids {
 			fn(v, &c.adjs[l])
 		}
@@ -140,6 +232,12 @@ func (f *Fragment) Vertices(fn func(v graph.VertexID, adj *Adj)) {
 // SortedVertices returns the ids of all vertex copies in ascending
 // order. The returned slice is the caller's to keep.
 func (f *Fragment) SortedVertices() []graph.VertexID {
+	if f.frozen() {
+		if z := f.czf.Load(); z != nil {
+			return append([]graph.VertexID(nil), z.ids...)
+		}
+		return append([]graph.VertexID(nil), f.cf.Load().ids...)
+	}
 	if c := f.cf.Load(); c != nil {
 		return append([]graph.VertexID(nil), c.ids...)
 	}
@@ -233,6 +331,7 @@ func (p *Partition) SetMaster(v graph.VertexID, i int) error {
 // ensureVertex adds an empty copy of v to fragment i.
 func (p *Partition) ensureVertex(i int, v graph.VertexID) *Adj {
 	f := p.frags[i]
+	f.ensureMutable()
 	if adj, ok := f.verts[v]; ok {
 		return adj
 	}
@@ -284,6 +383,7 @@ func (p *Partition) AddVertex(i int, v graph.VertexID) { p.ensureVertex(i, v) }
 // arc pair stays co-located.
 func (p *Partition) AddArc(i int, u, v graph.VertexID) {
 	f := p.frags[i]
+	f.ensureMutable()
 	k := arcKey(u, v)
 	if _, ok := f.arcs[k]; ok {
 		return
@@ -309,6 +409,10 @@ func (p *Partition) AddEdge(i int, u, v graph.VertexID) {
 // become edge-less are removed. Returns true if the arc was present.
 func (p *Partition) RemoveArc(i int, u, v graph.VertexID) bool {
 	f := p.frags[i]
+	if f.frozen() && !f.HasArc(u, v) {
+		return false
+	}
+	f.ensureMutable()
 	k := arcKey(u, v)
 	if _, ok := f.arcs[k]; !ok {
 		return false
@@ -337,6 +441,10 @@ func (p *Partition) RemoveEdge(i int, u, v graph.VertexID) bool {
 // local incident arcs.
 func (p *Partition) RemoveVertex(i int, v graph.VertexID) {
 	f := p.frags[i]
+	if f.frozen() && !f.Has(v) {
+		return
+	}
+	f.ensureMutable()
 	adj, ok := f.verts[v]
 	if !ok {
 		return
@@ -382,7 +490,7 @@ func (p *Partition) globalIncident(v graph.VertexID) int {
 // IsComplete reports whether fragment i holds every arc incident to v
 // (Evi == Ev).
 func (p *Partition) IsComplete(i int, v graph.VertexID) bool {
-	adj := p.frags[i].verts[v]
+	adj := p.frags[i].Adjacency(v)
 	if adj == nil {
 		return false
 	}

@@ -1,0 +1,135 @@
+package partitioner_test
+
+import (
+	"runtime"
+	"slices"
+	"testing"
+
+	"adp/internal/gen"
+	"adp/internal/graph"
+	"adp/internal/partitioner"
+)
+
+// TestFennelStreamMatchesBatch pins the streaming Fennel to the batch
+// one bit for bit: identical placement on every graph shape and config,
+// since the stream's pushed-fragment bookkeeping reconstructs exactly
+// the already-assigned-neighbor counts the batch scorer reads.
+func TestFennelStreamMatchesBatch(t *testing.T) {
+	cfgs := []partitioner.FennelConfig{
+		{},
+		{Gamma: 1.5, Slack: 1.01}, // tight slack: exercises the at-capacity fallback
+		{Gamma: 2.0, Slack: 1.3},
+	}
+	for _, directed := range []bool{true, false} {
+		for seed := int64(0); seed < 3; seed++ {
+			g := gen.PowerLaw(gen.PowerLawConfig{N: 400, AvgDeg: 6, Exponent: 2.2, Directed: directed, Seed: seed})
+			for _, cfg := range cfgs {
+				for _, n := range []int{2, 5, 9} {
+					want, err := partitioner.FennelEdgeCut(g, n, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := partitioner.FennelStreamEdgeCut(g, n, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := want.EqualPlacement(got); err != nil {
+						t.Fatalf("directed=%v seed=%d n=%d cfg=%+v: stream diverges from batch: %v",
+							directed, seed, n, cfg, err)
+					}
+					if err := got.Validate(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFennelStreamDuringBuild wires FennelStream into BuildStreaming —
+// the production ingest path — and checks the partition it produces
+// over the finished graph equals the batch Fennel run afterwards.
+func TestFennelStreamDuringBuild(t *testing.T) {
+	cfg := gen.PowerLawConfig{N: 1200, AvgDeg: 7, Exponent: 2.3, Directed: true, Seed: 4}
+	nv, edges := gen.PowerLawChunkedEdges(cfg, 2)
+	st := partitioner.NewFennelStream(6, partitioner.FennelConfig{})
+	g, err := graph.BuildStreaming(nv, edges, false, graph.LoadOptions{Workers: 2}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := st.Partition(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := partitioner.FennelEdgeCut(g, 6, partitioner.FennelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := want.EqualPlacement(p); err != nil {
+		t.Fatalf("ingest-time stream diverges from post-hoc batch: %v", err)
+	}
+}
+
+// TestFennelStreamNotStarted pins the error for using the stream
+// without Begin.
+func TestFennelStreamNotStarted(t *testing.T) {
+	st := partitioner.NewFennelStream(4, partitioner.FennelConfig{})
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 10, AvgDeg: 2, Exponent: 2.2, Seed: 1})
+	if _, err := st.Partition(g); err == nil {
+		t.Fatal("Partition before Begin should error")
+	}
+}
+
+// TestIngestPipeline is the end-to-end determinism sweep the CI
+// ingest-matrix job runs under -race -short: a ~1M-edge chunked
+// power-law stream generated, CSR-built, and Fennel-partitioned at
+// workers ∈ {1, 4, NumCPU} must be bitwise identical throughout —
+// same graph bytes, same assignment, same partition placement.
+func TestIngestPipeline(t *testing.T) {
+	cfg := gen.PowerLawConfig{N: 125000, AvgDeg: 8, Exponent: 2.3, Directed: true, Seed: 7}
+	const frags = 8
+	workersSweep := []int{1, 4, runtime.NumCPU()}
+
+	var refGraph *graph.Graph
+	var refAssign []int
+	for _, w := range workersSweep {
+		nv, edges := gen.PowerLawChunkedEdges(cfg, w)
+		st := partitioner.NewFennelStream(frags, partitioner.FennelConfig{})
+		g, err := graph.BuildStreaming(nv, edges, false, graph.LoadOptions{Workers: w}, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if refGraph == nil {
+			refGraph = g
+			refAssign = slices.Clone(st.Assignment())
+			if !testing.Short() {
+				if err := g.Validate(); err != nil {
+					t.Fatal(err)
+				}
+				p, err := st.Partition(g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := p.Validate(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			continue
+		}
+		if g.NumVertices() != refGraph.NumVertices() || g.NumEdges() != refGraph.NumEdges() {
+			t.Fatalf("workers=%d: graph shape (%d,%d) vs (%d,%d)",
+				w, g.NumVertices(), g.NumEdges(), refGraph.NumVertices(), refGraph.NumEdges())
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			vid := graph.VertexID(v)
+			if !slices.Equal(g.OutNeighbors(vid), refGraph.OutNeighbors(vid)) ||
+				!slices.Equal(g.InNeighbors(vid), refGraph.InNeighbors(vid)) {
+				t.Fatalf("workers=%d: adjacency of vertex %d differs from workers=%d",
+					w, v, workersSweep[0])
+			}
+		}
+		if !slices.Equal(st.Assignment(), refAssign) {
+			t.Fatalf("workers=%d: Fennel assignment differs from workers=%d", w, workersSweep[0])
+		}
+	}
+}

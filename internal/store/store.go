@@ -517,7 +517,9 @@ func (s *Store) Insert(u, v graph.VertexID, dest []int) error {
 	if err := s.comp.InsertEdge(u, v, dest); err != nil {
 		return err
 	}
-	s.pending = appendFrame(s.pending, s.nextLSN, recInsert, encodeEdge(u, v))
+	var eb [8]byte
+	putEdge(eb[:], u, v)
+	s.pending = appendFrame(s.pending, s.nextLSN, recInsert, eb[:])
 	s.nextLSN++
 	s.pendingMuts++
 	return nil
@@ -533,7 +535,9 @@ func (s *Store) Delete(u, v graph.VertexID) (bool, error) {
 	if !s.comp.DeleteEdge(u, v) {
 		return false, nil
 	}
-	s.pending = appendFrame(s.pending, s.nextLSN, recDelete, encodeEdge(u, v))
+	var eb [8]byte
+	putEdge(eb[:], u, v)
+	s.pending = appendFrame(s.pending, s.nextLSN, recDelete, eb[:])
 	s.nextLSN++
 	s.pendingMuts++
 	return true, nil

@@ -81,6 +81,16 @@ type PerfReport struct {
 	// → streaming Fennel → flat partition) in millions of edges per
 	// second.
 	IngestMEdgesPerSec float64 `json:"ingest_medges_per_sec"`
+	// EpochPublishSpeedup is epoch_publish_fullclone ns/op divided by
+	// epoch_publish ns/op on the big-graph small-wave workload — the
+	// ≥5x acceptance measurement of the COW publication path.
+	EpochPublishSpeedup float64 `json:"epoch_publish_speedup_vs_fullclone"`
+	// ServeWriteQPS / ServeWriteQPSFullClone are acked closed-loop
+	// /updates batches per second through a live daemon on the same
+	// big-graph workload, on the COW and the forced-full-clone publish
+	// paths respectively.
+	ServeWriteQPS          float64 `json:"serve_write_qps"`
+	ServeWriteQPSFullClone float64 `json:"serve_write_qps_fullclone"`
 }
 
 // engineRunBaseline is the pre-flat-data-plane BenchmarkEngineRun
@@ -107,6 +117,16 @@ var refineBaselines = []PerfBaseline{
 		Note: "map-backed tracker Refresh across 8 fragments, measured at the PR-3 tree"},
 	{Name: "model_eval", NsPerOp: 92415, AllocsPerOp: 0,
 		Note: "interpreted Model.Eval, 1024 extracted Vars per op, measured at the PR-3 tree"},
+}
+
+// epochPublishBaselines pin the full-clone publication costs the COW
+// path is measured against: the same big-graph small-wave workload
+// with the deep Clone()+Compile() cut (FullClonePublish) forced.
+var epochPublishBaselines = []PerfBaseline{
+	{Name: "epoch_publish", NsPerOp: 1001e6, AllocsPerOp: 1189746,
+		Note: "full Clone()+Compile() publish (PowerLaw N=40000 deg=8, 16 frags, k=2, 8-mutation waves), measured at the PR-9 tree"},
+	{Name: "serve_write_qps", NsPerOp: 228e6, AllocsPerOp: 0,
+		Note: "acked /updates batch interval with FullClonePublish forced, same daemon and workload, measured at the PR-9 tree"},
 }
 
 // LearnedDegreeModel is the Model-form (learned-shape) cost pair the
@@ -142,7 +162,7 @@ func Perf() (*PerfReport, error) {
 		Schema:     "adp-bench/2",
 		GoVersion:  runtime.Version(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Baselines:  append([]PerfBaseline{engineRunBaseline}, refineBaselines...),
+		Baselines:  append(append([]PerfBaseline{engineRunBaseline}, refineBaselines...), epochPublishBaselines...),
 	}
 	add := func(name string, r testing.BenchmarkResult) {
 		rep.Results = append(rep.Results, PerfResult{
@@ -325,6 +345,13 @@ func Perf() (*PerfReport, error) {
 	// the adserve daemon over this same reference graph, with and
 	// without a concurrent writer swapping epochs.
 	if err := addServeSeries(rep, ServeLoadConfig{}); err != nil {
+		return nil, err
+	}
+
+	// Epoch-publication plane: O(delta) COW snapshot cuts vs the full
+	// deep-clone baseline, micro (publish cost per wave) and macro
+	// (acked write QPS through a live daemon on both paths).
+	if err := addEpochSeries(rep, add); err != nil {
 		return nil, err
 	}
 
@@ -550,6 +577,10 @@ func (r *PerfReport) Summary() string {
 	if r.ServeQPS > 0 {
 		s += fmt.Sprintf(", serve %.0f QPS (read p99 %.2fms writer / %.2fms no-writer)",
 			r.ServeQPS, r.ServeReadP99Ms, r.ServeReadP99NoWriterMs)
+	}
+	if r.EpochPublishSpeedup > 0 {
+		s += fmt.Sprintf(", epoch publish %.0fx vs full clone (write %.0f QPS vs %.0f full-clone)",
+			r.EpochPublishSpeedup, r.ServeWriteQPS, r.ServeWriteQPSFullClone)
 	}
 	if r.DriftRecoverMs > 0 {
 		s += fmt.Sprintf(", drift recovery %.0fms", r.DriftRecoverMs)

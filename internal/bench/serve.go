@@ -28,7 +28,15 @@ type ServeLoadConfig struct {
 	// RunFraction of requests that are POST /run (the rest are vertex
 	// reads). Default 0.02.
 	RunFraction float64
-	Seed        int64
+	// Warmup is the untimed closed-loop phase that runs before any
+	// measured phase. A cold daemon pays first-touch costs on its first
+	// few hundred requests — lazily built session pools, first engine
+	// runs per algorithm, heap growth to steady state — and whichever
+	// measured phase runs first would absorb them (BENCH_8 recorded a
+	// no-writer p99 above the with-writer p99 purely from this phase-
+	// ordering skew). Default 1s.
+	Warmup time.Duration
+	Seed   int64
 }
 
 func (c *ServeLoadConfig) fill() {
@@ -43,6 +51,9 @@ func (c *ServeLoadConfig) fill() {
 	}
 	if c.RunFraction <= 0 {
 		c.RunFraction = 0.02
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = time.Second
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -117,6 +128,20 @@ func ServeLoad(cfg ServeLoadConfig) (*ServeLoadResult, error) {
 		Seed:        cfg.Seed,
 	}
 	res := &ServeLoadResult{}
+
+	// Untimed warmup: closed-loop mixed traffic with a writer, heavy on
+	// /run, so session pools, engine first-runs and the heap all reach
+	// steady state before the first measured phase. Its result is
+	// discarded — only its side effects matter.
+	warm := base
+	warm.Duration = cfg.Warmup
+	warm.RunFraction = 0.2
+	warm.Writer = true
+	warm.WriterEvery = 20 * time.Millisecond
+	warm.Seed = cfg.Seed + 3
+	if _, err = serve.RunLoad(url, g, warm); err != nil {
+		return nil, err
+	}
 
 	open := base
 	open.TargetQPS = cfg.TargetQPS

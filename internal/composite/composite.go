@@ -7,6 +7,7 @@ package composite
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"adp/internal/graph"
 	"adp/internal/partition"
@@ -35,6 +36,27 @@ type Composite struct {
 	coreArcs []int
 	// index[i] maps arc key -> placement inside composite fragment i.
 	index []map[uint64]indexEntry
+	// sharedIdx[i] marks index[i] as shared with a CloneCOW sibling
+	// (typically a published epoch): the next write to that fragment's
+	// index must replace the map with a private copy (ownIndex), never
+	// mutate the shared one. Always non-nil, same length as index.
+	sharedIdx []bool
+	// idxStamp[i] identifies the map object behind index[i]: fresh maps
+	// get fresh stamps, COW clones share them. Stamp equality across two
+	// composites therefore means "same map" — the basis of the epoch
+	// memory accounting in ShareStats.
+	idxStamp []uint64
+}
+
+// idxStampCounter issues process-unique index-map stamps.
+var idxStampCounter atomic.Uint64
+
+func freshStamps(n int) []uint64 {
+	s := make([]uint64, n)
+	for i := range s {
+		s[i] = idxStampCounter.Add(1)
+	}
+	return s
 }
 
 func arcKey(u, v graph.VertexID) uint64 { return uint64(u)<<32 | uint64(v) }
@@ -114,6 +136,26 @@ func (c *Composite) rebuildIndex() {
 		}
 		c.index[i] = idx
 	}
+	c.sharedIdx = make([]bool, c.n)
+	c.idxStamp = freshStamps(c.n)
+}
+
+// ownIndex returns index[i] for writing, first replacing it with a
+// private copy when the current map is shared with a COW clone. The
+// copy costs O(|index[i]|) once per fragment per publish cycle — the
+// "touched index vertices" term of the O(delta) epoch cut.
+func (c *Composite) ownIndex(i int) map[uint64]indexEntry {
+	if c.sharedIdx[i] {
+		m := c.index[i]
+		nm := make(map[uint64]indexEntry, len(m))
+		for k, e := range m {
+			nm[k] = e
+		}
+		c.index[i] = nm
+		c.sharedIdx[i] = false
+		c.idxStamp[i] = idxStampCounter.Add(1)
+	}
+	return c.index[i]
 }
 
 // K returns the number of bundled partitions.
@@ -204,9 +246,10 @@ func (c *Composite) DeleteEdge(u, v graph.VertexID) bool {
 		if e.core {
 			c.coreArcs[i]--
 		}
-		delete(c.index[i], arcKey(u, v))
+		idx := c.ownIndex(i)
+		delete(idx, arcKey(u, v))
 		if c.g.Undirected() {
-			delete(c.index[i], arcKey(v, u))
+			delete(idx, arcKey(v, u))
 		}
 	}
 	return found
@@ -235,18 +278,20 @@ func (c *Composite) InsertEdge(u, v graph.VertexID, dest []int) error {
 	}
 	stamp := func(key uint64) {
 		if allSame {
-			e := c.index[dest[0]][key]
+			idx := c.ownIndex(dest[0])
+			e := idx[key]
 			if !e.core {
-				c.index[dest[0]][key] = indexEntry{core: true}
+				idx[key] = indexEntry{core: true}
 				c.coreArcs[dest[0]]++
 			}
 			return
 		}
 		for j, d := range dest {
-			e := c.index[d][key]
+			idx := c.ownIndex(d)
+			e := idx[key]
 			if !e.core {
 				e.residuals |= 1 << uint(j)
-				c.index[d][key] = e
+				idx[key] = e
 			}
 		}
 	}
@@ -279,7 +324,79 @@ func (c *Composite) Clone() *Composite {
 		}
 		out.index[i] = nm
 	}
+	out.sharedIdx = make([]bool, c.n)
+	out.idxStamp = freshStamps(c.n)
 	return out
+}
+
+// CloneCOW returns a structurally-sharing snapshot of the composite:
+// every bundled partition is cloned through Partition.CloneCOW (shared
+// immutable compiled fragments, copied spines) and the coherence index
+// maps are shared outright — both sides are flagged so the next index
+// write on either side copies the touched fragment's map first
+// (ownIndex). Only the spines (coreArcs, the index slice, the flags)
+// are copied eagerly, so a cut costs O(touched fragments + touched
+// index vertices) since the previous cut instead of O(graph). The
+// serving plane publishes epoch snapshots through this path; Clone
+// remains the full-deep-copy oracle.
+func (c *Composite) CloneCOW() *Composite {
+	out := &Composite{
+		g: c.g, n: c.n, k: c.k,
+		parts:     make([]*partition.Partition, c.k),
+		coreArcs:  append([]int(nil), c.coreArcs...),
+		index:     append([]map[uint64]indexEntry(nil), c.index...),
+		sharedIdx: make([]bool, c.n),
+		idxStamp:  append([]uint64(nil), c.idxStamp...),
+	}
+	for j, p := range c.parts {
+		out.parts[j] = p.CloneCOW()
+	}
+	for i := range c.sharedIdx {
+		c.sharedIdx[i] = true
+		out.sharedIdx[i] = true
+	}
+	return out
+}
+
+// ShareStats describes how much of c's storage is shared with prev
+// (typically the previous epoch's composite): fragments and index maps
+// that are the same objects cost no marginal memory; owned ones are
+// summed at approximate resident bytes. prev == nil counts everything
+// as owned — the full materialized size of one epoch.
+type ShareStats struct {
+	SharedFragments int
+	OwnedFragments  int
+	SharedIndexMaps int
+	OwnedIndexMaps  int
+	OwnedBytes      int64
+}
+
+// indexEntryApproxBytes is the rough per-entry resident cost of a
+// coherence-index map cell (8-byte key + padded entry + map overhead).
+const indexEntryApproxBytes = 24
+
+// ShareStats computes the sharing breakdown of c against prev.
+func (c *Composite) ShareStats(prev *Composite) ShareStats {
+	var st ShareStats
+	for j, p := range c.parts {
+		var pp *partition.Partition
+		if prev != nil && j < len(prev.parts) {
+			pp = prev.parts[j]
+		}
+		sh, ow, ob := p.ShareStats(pp)
+		st.SharedFragments += sh
+		st.OwnedFragments += ow
+		st.OwnedBytes += ob
+	}
+	for i := 0; i < c.n; i++ {
+		if prev != nil && i < prev.n && c.idxStamp[i] == prev.idxStamp[i] {
+			st.SharedIndexMaps++
+		} else {
+			st.OwnedIndexMaps++
+			st.OwnedBytes += int64(len(c.index[i])) * indexEntryApproxBytes
+		}
+	}
+	return st
 }
 
 // Validate checks every bundled partition plus index consistency.

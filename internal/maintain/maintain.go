@@ -404,7 +404,10 @@ func (l *Loop) buildCandidate(base *composite.Composite) (cand *composite.Compos
 			cand, err = nil, fmt.Errorf("maintain: refiner panicked: %v", r)
 		}
 	}()
-	work := base.Clone()
+	// COW cut: the refiners mutate work through exported mutators only,
+	// which thaw (copy) a fragment before writing, so base's shared
+	// compiled fragments stay intact for the rollback path.
+	work := base.CloneCOW()
 	ctx, cancel := context.WithTimeout(l.ctx, l.cfg.RefineTimeout)
 	defer cancel()
 	for j := 0; j < work.K(); j++ {
@@ -570,7 +573,7 @@ func (l *Loop) watchdog(base *composite.Composite, baseSeq, promotedSeq uint64, 
 		return
 	}
 	l.logf("maintain: epoch %d regressed (%s); rolling back to base of epoch %d", promotedSeq, regressed, baseSeq)
-	if _, err := l.srv.SwapEpoch(base.Clone(), baseSeq, true); err != nil {
+	if _, err := l.srv.SwapEpoch(base.CloneCOW(), baseSeq, true); err != nil {
 		l.swapFailures.Add(1)
 		l.setError(fmt.Errorf("maintain: rollback: %w", err))
 		l.logf("maintain: rollback failed: %v", err)

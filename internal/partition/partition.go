@@ -265,6 +265,11 @@ type Partition struct {
 	// algorithm's per-vertex cost). Nil when unused; 1.0 is the
 	// implied default.
 	weight []float64
+	// copiesShared marks the per-vertex copies slices as shared with a
+	// CloneCOW sibling (possibly a published epoch): insertCopy and
+	// removeCopy must then allocate fresh slices instead of mutating
+	// the shared backing arrays in place. Sticky once set.
+	copiesShared bool
 }
 
 // NewEmpty returns a partition of g with n empty fragments.
@@ -351,6 +356,16 @@ func (p *Partition) insertCopy(v graph.VertexID, i int32) {
 	if pos < len(cs) && cs[pos] == i {
 		return
 	}
+	if p.copiesShared {
+		// The backing array may belong to a published epoch (or the
+		// frozen loaders' arena); never write it in place.
+		ns := make([]int32, len(cs)+1)
+		copy(ns, cs[:pos])
+		ns[pos] = i
+		copy(ns[pos+1:], cs[pos:])
+		p.copies[v] = ns
+		return
+	}
 	cs = append(cs, 0)
 	copy(cs[pos+1:], cs[pos:])
 	cs[pos] = i
@@ -363,7 +378,14 @@ func (p *Partition) removeCopy(v graph.VertexID, i int32) {
 	if pos == len(cs) || cs[pos] != i {
 		return
 	}
-	p.copies[v] = append(cs[:pos], cs[pos+1:]...)
+	if p.copiesShared {
+		ns := make([]int32, len(cs)-1)
+		copy(ns, cs[:pos])
+		copy(ns[pos:], cs[pos+1:])
+		p.copies[v] = ns
+	} else {
+		p.copies[v] = append(cs[:pos], cs[pos+1:]...)
+	}
 	if p.master[v] == i {
 		if len(p.copies[v]) > 0 {
 			p.master[v] = p.copies[v][0]

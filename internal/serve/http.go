@@ -269,7 +269,23 @@ type metricsResponse struct {
 	Algorithms  []algoMetrics `json:"algorithms"`
 	Store       storeMetrics  `json:"store"`
 	Server      serverMetrics `json:"server"`
+	Epochs      epochMetrics  `json:"epochs"`
 	Maintenance *MaintStatus  `json:"maintenance,omitempty"`
+}
+
+// epochMetrics is the epoch memory-accounting block: how many epochs
+// are held live (current + superseded-but-pinned), how the last
+// publish shared against its predecessor, and the approximate bytes it
+// newly materialized versus the epoch's full resident size.
+type epochMetrics struct {
+	Retained        int   `json:"retained"`
+	LastPublishNS   int64 `json:"last_publish_ns"`
+	SharedFragments int   `json:"shared_fragments"`
+	OwnedFragments  int   `json:"owned_fragments"`
+	SharedIndexMaps int   `json:"shared_index_maps"`
+	OwnedIndexMaps  int   `json:"owned_index_maps"`
+	ApproxNewBytes  int64 `json:"approx_new_bytes"`
+	ApproxBytes     int64 `json:"approx_epoch_bytes"`
 }
 
 type storeMetrics struct {
@@ -321,6 +337,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Draining:        s.draining.Load(),
 		},
 		Maintenance: s.maintStatusSnapshot(),
+	}
+	retained, ems := s.epochMemSnapshot()
+	resp.Epochs = epochMetrics{
+		Retained:        retained,
+		LastPublishNS:   ems.publishNS,
+		SharedFragments: ems.sharedFragments,
+		OwnedFragments:  ems.ownedFragments,
+		SharedIndexMaps: ems.sharedIndexMaps,
+		OwnedIndexMaps:  ems.ownedIndexMaps,
+		ApproxNewBytes:  ems.newBytes,
+		ApproxBytes:     ems.epochBytes,
 	}
 	for i, a := range costmodel.Algos() {
 		j := i % ep.comp.K()

@@ -104,7 +104,11 @@ func (s *Server) BeginMaintenance() (*composite.Composite, uint64, error) {
 	s.capOverflow = false
 	s.capMu.Unlock()
 	e := s.cur.Load()
-	return e.comp.Clone(), e.seq, nil
+	// The base is cut through the same COW path as epoch publishes: it
+	// shares the epoch's immutable compiled fragments, and the refiner
+	// thawing a fragment (via exported mutators) copies before writing,
+	// so the live epoch is never perturbed.
+	return s.cutComposite(e.comp), e.seq, nil
 }
 
 // EndMaintenance disarms delta capture and drops the buffer.
@@ -254,9 +258,7 @@ func (s *Server) applySwap(sr *swapRequest) {
 	}
 	s.lastLSN.Store(s.st.LSN())
 	s.committed.Store(s.st.Committed())
-	old := s.cur.Load()
-	ne := s.newEpoch(old.seq+1, sr.cand.Clone(), s.st.LSN())
-	s.cur.Store(ne)
+	ne := s.publish(sr.cand)
 	s.epochSwaps.Add(1)
 	if sr.rollback {
 		s.maintRollbacks.Add(1)

@@ -8,9 +8,13 @@
 //   - The store's live composite is the durable ground truth. It is
 //     mutated only by the background apply loop (one goroutine), never
 //     served directly — the store is not safe for concurrent use.
-//   - Each published epoch is a deep Clone of the composite with every
-//     partition pre-compiled to its CSR form, installed behind an
-//     atomic.Pointer. Readers pin exactly one epoch per request
+//   - Each published epoch is a copy-on-write snapshot of the
+//     composite (composite.CloneCOW): every partition is pre-compiled
+//     to its CSR form and fragments the last wave did not touch are
+//     shared — as the same immutable compiled value — with the
+//     previous epoch, so a cut costs O(touched fragments + touched
+//     index vertices), not O(graph). The snapshot is installed behind
+//     an atomic.Pointer. Readers pin exactly one epoch per request
 //     (pin/unpin is a refcount used for drain accounting and metrics;
 //     reclamation is the garbage collector's job), so every response
 //     is internally consistent with one snapshot — snapshot isolation
@@ -83,6 +87,12 @@ type Config struct {
 	// the chaos harness threads deterministic engine faults through a
 	// live server with it.
 	RunInjector *fault.Injector
+	// FullClonePublish forces every epoch cut through the full deep
+	// Clone()+Compile() path instead of the structural-sharing CloneCOW
+	// path. Benchmarks and oracle tests use it to measure the O(graph)
+	// baseline the COW publish is gated against; production leaves it
+	// off.
+	FullClonePublish bool
 	// Logf, when non-nil, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -176,6 +186,14 @@ type Server struct {
 	maintMu     sync.Mutex
 	maintStatus func() MaintStatus
 
+	// Epoch memory accounting (guarded by epochMu): superseded epochs
+	// still pinned by in-flight readers, plus the last publish's
+	// sharing breakdown. Epochs are reclaimed by the garbage collector;
+	// retired only tracks the ones readers are still holding open.
+	epochMu     sync.Mutex
+	retired     []*epoch
+	lastPublish epochMemStats
+
 	// Counters mirrored out of the apply loop so /metrics never
 	// touches the store.
 	served          atomic.Int64
@@ -208,7 +226,7 @@ func New(st *store.Store, cfg Config) (*Server, error) {
 		swaps:   make(chan *swapRequest),
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
-	s.cur.Store(s.newEpoch(1, comp.Clone(), st.LSN()))
+	s.publish(comp)
 	s.lastLSN.Store(st.LSN())
 	s.committed.Store(st.Committed())
 	s.applyWG.Add(1)
@@ -242,6 +260,100 @@ func (s *Server) newEpoch(seq uint64, comp *composite.Composite, lsn uint64) *ep
 		e.pools[i] = newSessionPool(part, s.pool(), s.cfg.SessionsPerAlgo)
 	}
 	return e
+}
+
+// epochMemStats is the sharing breakdown of one publish, surfaced by
+// GET /metrics so COW sharing is observable, not assumed.
+type epochMemStats struct {
+	publishNS       int64
+	sharedFragments int
+	ownedFragments  int
+	sharedIndexMaps int
+	ownedIndexMaps  int
+	// newBytes approximates the memory the publish newly materialized
+	// (owned fragments + owned index maps); epochBytes approximates the
+	// epoch's full resident size as if nothing were shared.
+	newBytes   int64
+	epochBytes int64
+}
+
+// cutComposite cuts a publishable snapshot of comp: the structural-
+// sharing CloneCOW by default, or the O(graph) deep Clone when
+// FullClonePublish is set (bench baselines and oracle tests).
+func (s *Server) cutComposite(comp *composite.Composite) *composite.Composite {
+	if s.cfg.FullClonePublish {
+		return comp.Clone()
+	}
+	return comp.CloneCOW()
+}
+
+// publish cuts a snapshot of comp, installs it as the next epoch, and
+// retires the previous one into the pinned-epoch ledger. Called only
+// by New and the apply loop (the single writer), so the cut walks the
+// composite while nothing mutates it.
+func (s *Server) publish(comp *composite.Composite) *epoch {
+	old := s.cur.Load()
+	seq := uint64(1)
+	if old != nil {
+		seq = old.seq + 1
+	}
+	start := time.Now()
+	ne := s.newEpoch(seq, s.cutComposite(comp), s.st.LSN())
+	elapsed := time.Since(start)
+	s.cur.Store(ne)
+	s.recordPublish(old, ne, elapsed)
+	return ne
+}
+
+// recordPublish updates the epoch memory ledger after a publish.
+func (s *Server) recordPublish(old, ne *epoch, d time.Duration) {
+	var prev *composite.Composite
+	if old != nil {
+		prev = old.comp
+	}
+	delta := ne.comp.ShareStats(prev)
+	full := ne.comp.ShareStats(nil)
+	st := epochMemStats{
+		publishNS:       d.Nanoseconds(),
+		sharedFragments: delta.SharedFragments,
+		ownedFragments:  delta.OwnedFragments,
+		sharedIndexMaps: delta.SharedIndexMaps,
+		ownedIndexMaps:  delta.OwnedIndexMaps,
+		newBytes:        delta.OwnedBytes,
+		epochBytes:      full.OwnedBytes,
+	}
+	s.epochMu.Lock()
+	if old != nil {
+		s.retired = append(s.retired, old)
+	}
+	s.pruneRetiredLocked()
+	s.lastPublish = st
+	s.epochMu.Unlock()
+}
+
+// pruneRetiredLocked drops retired epochs no reader still pins, so the
+// ledger (and /metrics epochs_retained) tracks only epochs actually
+// held open. Caller holds epochMu.
+func (s *Server) pruneRetiredLocked() {
+	kept := s.retired[:0]
+	for _, e := range s.retired {
+		if e.pins.Load() > 0 {
+			kept = append(kept, e)
+		}
+	}
+	for i := len(kept); i < len(s.retired); i++ {
+		s.retired[i] = nil // release for the garbage collector
+	}
+	s.retired = kept
+}
+
+// epochMemSnapshot returns the count of epochs currently retained
+// (current + superseded-but-pinned) and the last publish's stats.
+func (s *Server) epochMemSnapshot() (retained int, st epochMemStats) {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	s.pruneRetiredLocked()
+	return len(s.retired) + 1, s.lastPublish
 }
 
 // pin acquires the current epoch for one request. The retry keeps the
@@ -415,11 +527,11 @@ func (s *Server) applyWave(wave []*updateBatch) {
 
 	if failedAt < 0 {
 		// Every batch committed: cut and publish the next epoch. The
-		// clone walks the composite while no writer mutates it (this
-		// goroutine is the only writer), readers keep the old epoch.
-		old := s.cur.Load()
-		ne := s.newEpoch(old.seq+1, s.st.Composite().Clone(), s.st.LSN())
-		s.cur.Store(ne)
+		// COW cut shares every fragment the wave left untouched with
+		// the previous epoch, so its cost is O(touched fragments +
+		// touched index vertices), not O(graph). Readers keep the old
+		// epoch until the atomic swap.
+		ne := s.publish(s.st.Composite())
 		s.epochSwaps.Add(1)
 		s.captureWave(ne.seq, wave)
 		for i := range results {

@@ -83,12 +83,25 @@ func (ts *testServer) drain() error {
 func startServer(t testing.TB, dir string, fresh bool, cfg Config, sopts store.Options) *testServer {
 	t.Helper()
 	g := serveGraph()
+	var comp *composite.Composite
+	if fresh {
+		comp = serveComposite(t, g)
+	}
+	return startServerOn(t, dir, g, comp, cfg, sopts)
+}
+
+// startServerOn serves an arbitrary graph/composite pair from dir: a
+// non-nil comp creates a fresh store over it, nil reopens the store
+// already in dir against g. The write-heavy suites use it to run the
+// standard serve tests over larger graphs than the default fixture.
+func startServerOn(t testing.TB, dir string, g *graph.Graph, comp *composite.Composite, cfg Config, sopts store.Options) *testServer {
+	t.Helper()
 	var (
 		st  *store.Store
 		err error
 	)
-	if fresh {
-		st, err = store.Create(dir, serveComposite(t, g), sopts)
+	if comp != nil {
+		st, err = store.Create(dir, comp, sopts)
 	} else {
 		st, _, err = store.Open(dir, g, sopts)
 	}

@@ -67,6 +67,7 @@ func main() {
 		storeDir  = flag.String("store", "", "with -algo batch: keep the composite in a crash-consistent store at this directory")
 		fsckDir   = flag.String("fsck", "", "check the store at this directory and exit (0 healthy, 1 damaged)")
 		repair    = flag.Bool("repair", false, "with -fsck: truncate damaged or un-acked log tails in place")
+		fsckJSON  = flag.Bool("json", false, "with -fsck: emit the machine-readable report instead of the text format")
 		stream    = flag.Bool("stream", false, "one-pass ingest: run streaming Fennel while the graph builds (implies -base Fennel)")
 		compress  = flag.Bool("compressed", false, "hold the partition adjacency gap-compressed (inflates on demand) and print the footprint")
 		useMmap   = flag.Bool("mmap", false, "load -graph as a flat binary CSR via mmap (write one with -saveflat)")
@@ -82,7 +83,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		rep.Format(os.Stdout)
+		if *fsckJSON {
+			if err := rep.WriteJSON(os.Stdout); err != nil {
+				fatal(err)
+			}
+		} else {
+			rep.Format(os.Stdout)
+		}
 		if !rep.Healthy() {
 			os.Exit(1)
 		}

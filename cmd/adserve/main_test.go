@@ -6,37 +6,107 @@ import (
 	"time"
 )
 
-func TestValidateFlags(t *testing.T) {
-	ok := func(grace, every time.Duration, inflight, queue int, thr float64) error {
-		return validateFlags(grace, every, inflight, queue, thr)
+// base is a valid default-ish configuration; each case mutates one
+// aspect of it.
+func base() flagConfig {
+	return flagConfig{
+		grace:      10 * time.Second,
+		maintEvery: 5 * time.Second,
+		inflight:   64,
+		queue:      16,
+		driftThr:   0.5,
+		listen:     "127.0.0.1:7133",
 	}
-	if err := ok(10*time.Second, 5*time.Second, 64, 16, 0.5); err != nil {
+}
+
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(base()); err != nil {
 		t.Fatalf("default configuration rejected: %v", err)
 	}
-	if err := ok(0, time.Second, 1, 1, 0.01); err != nil {
+	minimal := flagConfig{maintEvery: time.Second, inflight: 1, queue: 1, driftThr: 0.01, listen: ":0"}
+	if err := validateFlags(minimal); err != nil {
 		t.Fatalf("minimal configuration rejected: %v", err)
+	}
+
+	mut := func(f func(*flagConfig)) flagConfig {
+		c := base()
+		f(&c)
+		return c
 	}
 	cases := []struct {
 		name string
-		err  error
+		cfg  flagConfig
 		want string
 	}{
-		{"negative grace", ok(-time.Second, 5*time.Second, 64, 16, 0.5), "-grace"},
-		{"negative maintain interval", ok(0, -time.Second, 64, 16, 0.5), "-maintain-interval"},
-		{"zero maintain interval", ok(0, 0, 64, 16, 0.5), "-maintain-interval"},
-		{"zero inflight", ok(0, time.Second, 0, 16, 0.5), "-inflight"},
-		{"negative inflight", ok(0, time.Second, -3, 16, 0.5), "-inflight"},
-		{"zero queue", ok(0, time.Second, 64, 0, 0.5), "-queue"},
-		{"zero drift threshold", ok(0, time.Second, 64, 16, 0), "-drift-threshold"},
-		{"negative drift threshold", ok(0, time.Second, 64, 16, -0.2), "-drift-threshold"},
+		{"negative grace", mut(func(c *flagConfig) { c.grace = -time.Second }), "-grace"},
+		{"negative maintain interval", mut(func(c *flagConfig) { c.maintEvery = -time.Second }), "-maintain-interval"},
+		{"zero maintain interval", mut(func(c *flagConfig) { c.maintEvery = 0 }), "-maintain-interval"},
+		{"zero inflight", mut(func(c *flagConfig) { c.inflight = 0 }), "-inflight"},
+		{"negative inflight", mut(func(c *flagConfig) { c.inflight = -3 }), "-inflight"},
+		{"zero queue", mut(func(c *flagConfig) { c.queue = 0 }), "-queue"},
+		{"zero drift threshold", mut(func(c *flagConfig) { c.driftThr = 0 }), "-drift-threshold"},
+		{"negative drift threshold", mut(func(c *flagConfig) { c.driftThr = -0.2 }), "-drift-threshold"},
+		{"follower with maintenance", mut(func(c *flagConfig) {
+			c.replicaOf = ":7233"
+			c.maintain = true
+		}), "-replica-of and -maintain"},
+		{"follower with repl listener", mut(func(c *flagConfig) {
+			c.replicaOf = ":7233"
+			c.listenRepl = ":7234"
+		}), "-replica-of and -listen-repl"},
+		{"follower with promote", mut(func(c *flagConfig) {
+			c.replicaOf = ":7233"
+			c.promote = true
+		}), "-promote"},
+		{"repl listener collides with http listener", mut(func(c *flagConfig) {
+			c.listenRepl = c.listen
+		}), "-listen-repl"},
+		{"self replication", mut(func(c *flagConfig) {
+			c.replicaOf = c.listen
+		}), "-replica-of"},
+		{"negative ack followers", mut(func(c *flagConfig) {
+			c.listenRepl = ":7233"
+			c.ackFollowers = -1
+		}), "-ack-followers"},
+		{"ack followers without repl listener", mut(func(c *flagConfig) {
+			c.ackFollowers = 1
+		}), "-ack-followers"},
+		{"leader url on a leader", mut(func(c *flagConfig) {
+			c.leaderURL = "http://127.0.0.1:7133"
+		}), "-leader-url"},
+		{"negative lease", mut(func(c *flagConfig) {
+			c.replicaOf = ":7233"
+			c.promoteAfter = -time.Second
+		}), "-promote-after"},
+		{"lease on a leader", mut(func(c *flagConfig) {
+			c.promoteAfter = time.Second
+		}), "-promote-after"},
 	}
 	for _, tc := range cases {
-		if tc.err == nil {
+		err := validateFlags(tc.cfg)
+		if err == nil {
 			t.Errorf("%s: accepted", tc.name)
 			continue
 		}
-		if !strings.Contains(tc.err.Error(), tc.want) {
-			t.Errorf("%s: error %q does not name %s", tc.name, tc.err, tc.want)
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name %s", tc.name, err, tc.want)
 		}
+	}
+
+	// The full replication topologies both validate.
+	lead := mut(func(c *flagConfig) {
+		c.listenRepl = ":7233"
+		c.ackFollowers = 1
+	})
+	if err := validateFlags(lead); err != nil {
+		t.Fatalf("leader configuration rejected: %v", err)
+	}
+	fol := mut(func(c *flagConfig) {
+		c.replicaOf = ":7233"
+		c.leaderURL = "http://127.0.0.1:7133"
+		c.promoteAfter = 2 * time.Second
+	})
+	if err := validateFlags(fol); err != nil {
+		t.Fatalf("follower configuration rejected: %v", err)
 	}
 }

@@ -229,8 +229,24 @@ func (c *Composite) Locate(i int, u, v graph.VertexID) (core bool, residuals []i
 
 // DeleteEdge deletes the edge coherently from every bundled partition
 // using the index to locate copies, then updates the index. For
-// undirected graphs both arcs go. It reports whether any copy existed.
+// undirected graphs both arcs go — independently, because a vertex- or
+// edge-cut partition may store (u,v) and (v,u) in different fragments
+// (each arc routes by its own source), so the two keys carry their own
+// index entries. It reports whether any copy existed.
 func (c *Composite) DeleteEdge(u, v graph.VertexID) bool {
+	found := c.deleteArc(u, v)
+	if c.g.Undirected() && u != v {
+		if c.deleteArc(v, u) {
+			found = true
+		}
+	}
+	return found
+}
+
+// deleteArc removes the single arc key (u,v): every partition copy in
+// every fragment whose index holds the key, the key's index entries,
+// and its core count contributions.
+func (c *Composite) deleteArc(u, v graph.VertexID) bool {
 	found := false
 	for i := 0; i < c.n; i++ {
 		e, ok := c.index[i][arcKey(u, v)]
@@ -240,17 +256,13 @@ func (c *Composite) DeleteEdge(u, v graph.VertexID) bool {
 		found = true
 		for j := 0; j < c.k; j++ {
 			if e.core || e.residuals&(1<<uint(j)) != 0 {
-				c.parts[j].RemoveEdge(i, u, v)
+				c.parts[j].RemoveArc(i, u, v)
 			}
 		}
 		if e.core {
 			c.coreArcs[i]--
 		}
-		idx := c.ownIndex(i)
-		delete(idx, arcKey(u, v))
-		if c.g.Undirected() {
-			delete(idx, arcKey(v, u))
-		}
+		delete(c.ownIndex(i), arcKey(u, v))
 	}
 	return found
 }
@@ -276,6 +288,7 @@ func (c *Composite) InsertEdge(u, v graph.VertexID, dest []int) error {
 		}
 		c.parts[j].AddEdge(d, u, v)
 	}
+	full := residualSet(1<<uint(c.k) - 1)
 	stamp := func(key uint64) {
 		if allSame {
 			idx := c.ownIndex(dest[0])
@@ -291,6 +304,14 @@ func (c *Composite) InsertEdge(u, v graph.VertexID, dest []int) error {
 			e := idx[key]
 			if !e.core {
 				e.residuals |= 1 << uint(j)
+				// A residual set that fills up across inserts IS the core
+				// case — every partition holds the arc in this fragment —
+				// and rebuildIndex classifies it as such on recovery; the
+				// incremental path must agree.
+				if e.residuals == full {
+					e = indexEntry{core: true}
+					c.coreArcs[d]++
+				}
 				idx[key] = e
 			}
 		}

@@ -1,0 +1,133 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestNetInjectorSchedule(t *testing.T) {
+	inj := NewNetInjector(
+		NetEvent{Kind: NetDrop, N: 0},
+		NetEvent{Kind: NetDup, N: 2},
+		NetEvent{Kind: NetReorder, N: 3},
+		NetEvent{Kind: NetDelay, N: 4, Delay: 5 * time.Millisecond},
+		NetEvent{Kind: NetPartition, N: 6, Count: 3},
+	)
+	want := []NetAction{
+		{Drop: true},                  // 0: drop
+		{},                            // 1: clean
+		{Dup: true},                   // 2: dup
+		{Hold: true},                  // 3: reorder
+		{Delay: 5 * time.Millisecond}, // 4: delay
+		{},                            // 5: clean
+		{Drop: true},                  // 6,7,8: partition window
+		{Drop: true},
+		{Drop: true},
+		{}, // 9: window over
+	}
+	for i, w := range want {
+		if got := inj.Plan(); got != w {
+			t.Fatalf("send %d planned %+v, want %+v", i, got, w)
+		}
+	}
+	if inj.Sends() != len(want) {
+		t.Fatalf("Sends() = %d, want %d", inj.Sends(), len(want))
+	}
+}
+
+func TestNetInjectorOverlap(t *testing.T) {
+	// Multiple events on one index compose; the longest delay wins.
+	inj := NewNetInjector(
+		NetEvent{Kind: NetDup, N: 0},
+		NetEvent{Kind: NetDelay, N: 0, Delay: time.Millisecond},
+		NetEvent{Kind: NetDelay, N: 0, Delay: 3 * time.Millisecond},
+	)
+	if got := inj.Plan(); !got.Dup || got.Delay != 3*time.Millisecond {
+		t.Fatalf("overlapping events planned %+v", got)
+	}
+}
+
+func TestNetInjectorPartitionMinWindow(t *testing.T) {
+	// Count below 1 still drops the targeted message.
+	inj := NewNetInjector(NetEvent{Kind: NetPartition, N: 1})
+	if got := inj.Plan(); got.Drop {
+		t.Fatalf("send 0 planned %+v, want clean", got)
+	}
+	if got := inj.Plan(); !got.Drop {
+		t.Fatalf("send 1 planned %+v, want drop", got)
+	}
+	if got := inj.Plan(); got.Drop {
+		t.Fatalf("send 2 planned %+v, want clean", got)
+	}
+}
+
+func TestNetInjectorNilIsTransparent(t *testing.T) {
+	var inj *NetInjector
+	for i := 0; i < 4; i++ {
+		if got := inj.Plan(); got != (NetAction{}) {
+			t.Fatalf("nil injector planned %+v", got)
+		}
+	}
+	if inj.Sends() != 0 || inj.Events() != nil {
+		t.Fatal("nil injector is not inert")
+	}
+}
+
+func TestRandomNetDeterministic(t *testing.T) {
+	a := RandomNet(99, 20, 500, 10*time.Millisecond)
+	b := RandomNet(99, 20, 500, 10*time.Millisecond)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	c := RandomNet(100, 20, 500, 10*time.Millisecond)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if len(a) != 20 {
+		t.Fatalf("got %d events, want 20", len(a))
+	}
+	seen := map[NetKind]bool{}
+	for _, e := range a {
+		seen[e.Kind] = true
+		if e.N < 0 || e.N >= 500 {
+			t.Fatalf("event %s outside horizon", e)
+		}
+		switch e.Kind {
+		case NetPartition:
+			if e.Count < 1 || e.Count > 4 {
+				t.Fatalf("partition window %s out of range", e)
+			}
+		case NetDelay:
+			if e.Delay <= 0 || e.Delay > 10*time.Millisecond {
+				t.Fatalf("delay %s out of range", e)
+			}
+		}
+	}
+	for _, k := range []NetKind{NetDrop, NetDup, NetReorder, NetDelay, NetPartition} {
+		if !seen[k] {
+			t.Fatalf("20-event schedule never exercises %s", k)
+		}
+	}
+	if RandomNet(1, 0, 100, 0) != nil || RandomNet(1, 5, 0, 0) != nil {
+		t.Fatal("degenerate inputs should produce no schedule")
+	}
+}
+
+func TestNetEventString(t *testing.T) {
+	cases := []struct {
+		e    NetEvent
+		want string
+	}{
+		{NetEvent{Kind: NetDrop, N: 3}, "netdrop@3"},
+		{NetEvent{Kind: NetDup, N: 0}, "netdup@0"},
+		{NetEvent{Kind: NetReorder, N: 7}, "netreorder@7"},
+		{NetEvent{Kind: NetDelay, N: 2, Delay: time.Millisecond}, "netdelay@2:1ms"},
+		{NetEvent{Kind: NetPartition, N: 5, Count: 4}, "netpart@5:4"},
+	}
+	for _, tc := range cases {
+		if got := tc.e.String(); got != tc.want {
+			t.Errorf("%+v renders %q, want %q", tc.e, got, tc.want)
+		}
+	}
+}

@@ -9,7 +9,6 @@ import (
 	"net"
 	"net/http"
 	"path/filepath"
-	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -27,6 +26,7 @@ import (
 	"adp/internal/pool"
 	"adp/internal/serve"
 	"adp/internal/store"
+	"adp/internal/testutil"
 )
 
 // The chaos suite drives live maintenance cycles against a real server
@@ -272,19 +272,7 @@ func insertStream(pairs [][2]graph.VertexID) string {
 
 func leakCheck(t *testing.T, base int) {
 	t.Helper()
-	http.DefaultClient.CloseIdleConnections()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		runtime.GC()
-		if n := runtime.NumGoroutine(); n <= base+2 {
-			return
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<16)
-			t.Fatalf("goroutines grew from %d to %d\n%s", base, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	testutil.CheckGoroutines(t, base, 2)
 }
 
 // TestMaintainPromotesUnderDrift is the headline: skewed inserts drive
@@ -302,8 +290,7 @@ func TestMaintainPromotesUnderDrift(t *testing.T) {
 	if _, err := algorithms.Run(engine.NewCluster(warm).UsePool(pl), costmodel.WCC, algorithms.Options{}); err != nil {
 		t.Fatal(err)
 	}
-	runtime.GC()
-	baseGoroutines := runtime.NumGoroutine()
+	baseGoroutines := testutil.GoroutineBaseline()
 
 	runInj := fault.NewInjector(
 		fault.Event{Kind: fault.Crash, Superstep: 1, Worker: 0},
@@ -709,8 +696,7 @@ func TestMaintainDiskFaultDuringPromotion(t *testing.T) {
 // and nothing leaks.
 func TestMaintainDrainRace(t *testing.T) {
 	g := maintGraph()
-	runtime.GC()
-	baseGoroutines := runtime.NumGoroutine()
+	baseGoroutines := testutil.GoroutineBaseline()
 	marker := absentPairs(g, 1)[0]
 	promoted, aborted := 0, 0
 

@@ -1,0 +1,240 @@
+package replica
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"adp/internal/store"
+)
+
+// LeaderConfig tunes the frame-serving side.
+type LeaderConfig struct {
+	// MaxFrames caps frames per reply (default 4096); a follower's pull
+	// may ask for less.
+	MaxFrames int
+	// Logf receives serving diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c LeaderConfig) maxFrames() int {
+	if c.MaxFrames <= 0 {
+		return 4096
+	}
+	return c.MaxFrames
+}
+
+func (c LeaderConfig) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Leader serves committed WAL frames to followers and tracks their
+// durably-applied watermarks. It reads the store only through the
+// concurrency-safe tailing APIs (TailFrom, NewestSnapshot,
+// CommittedLSN), so it can run next to the store's single writer. Safe
+// for concurrent use.
+type Leader struct {
+	st  *store.Store
+	cfg LeaderConfig
+
+	mu        sync.Mutex
+	followers map[string]uint64
+	advance   chan struct{} // closed+replaced whenever a watermark moves
+	conns     map[net.Conn]struct{}
+	closed    bool
+
+	wg sync.WaitGroup
+}
+
+// NewLeader wraps st for frame serving.
+func NewLeader(st *store.Store, cfg LeaderConfig) *Leader {
+	return &Leader{
+		st:        st,
+		cfg:       cfg,
+		followers: make(map[string]uint64),
+		advance:   make(chan struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+}
+
+// Handle answers one follower message. It never returns nil: protocol
+// problems come back as MsgError replies.
+func (l *Leader) Handle(req *Message) *Message {
+	switch req.Type {
+	case MsgSnapReq:
+		return l.snapshotReply()
+	case MsgPull:
+	default:
+		return &Message{Type: MsgError, ErrCode: ErrCodeBadRequest,
+			ErrMsg: fmt.Sprintf("unexpected message type %s", req.Type)}
+	}
+	if req.ID != "" {
+		l.observe(req.ID, req.Applied)
+	}
+	committed := l.st.CommittedLSN()
+	if req.Applied > committed {
+		return &Message{Type: MsgError, ErrCode: ErrCodeDiverged,
+			ErrMsg: fmt.Sprintf("follower applied lsn %d beyond leader committed %d", req.Applied, committed)}
+	}
+	if req.Applied == committed {
+		return &Message{Type: MsgFrames, Committed: committed}
+	}
+	max := l.cfg.maxFrames()
+	if req.Max > 0 && int(req.Max) < max {
+		max = int(req.Max)
+	}
+	frames, committed, err := l.st.TailFrom(req.Applied+1, max)
+	if errors.Is(err, store.ErrCompacted) {
+		return l.snapshotReply()
+	}
+	if err != nil {
+		l.cfg.logf("replica: leader tail from %d: %v", req.Applied+1, err)
+		return &Message{Type: MsgError, ErrCode: ErrCodeInternal, ErrMsg: err.Error()}
+	}
+	return &Message{Type: MsgFrames, Committed: committed, Frames: frames}
+}
+
+func (l *Leader) snapshotReply() *Message {
+	lsn, data, err := l.st.NewestSnapshot()
+	if err != nil {
+		l.cfg.logf("replica: leader snapshot read: %v", err)
+		return &Message{Type: MsgError, ErrCode: ErrCodeInternal, ErrMsg: err.Error()}
+	}
+	return &Message{Type: MsgSnapshot, SnapLSN: lsn, Snapshot: data}
+}
+
+// observe records a follower's durably-applied watermark and wakes
+// WaitDurable waiters when it advances.
+func (l *Leader) observe(id string, applied uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	old, seen := l.followers[id]
+	if !seen || applied > old {
+		l.followers[id] = applied
+		close(l.advance)
+		l.advance = make(chan struct{})
+	}
+}
+
+// Watermarks snapshots every follower's durably-applied LSN.
+func (l *Leader) Watermarks() map[string]uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]uint64, len(l.followers))
+	for id, lsn := range l.followers {
+		out[id] = lsn
+	}
+	return out
+}
+
+// WaitDurable blocks until at least minFollowers followers have
+// durably applied lsn, or ctx ends. minFollowers < 1 returns
+// immediately — replication acks disabled.
+func (l *Leader) WaitDurable(ctx context.Context, lsn uint64, minFollowers int) error {
+	if minFollowers < 1 {
+		return nil
+	}
+	for {
+		l.mu.Lock()
+		n := 0
+		for _, a := range l.followers {
+			if a >= lsn {
+				n++
+			}
+		}
+		ch := l.advance
+		l.mu.Unlock()
+		if n >= minFollowers {
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Serve accepts follower connections on ln until Close (or a listener
+// error). Each connection runs a strict request/response loop; a read
+// or write error closes just that connection (the follower redials).
+func (l *Leader) Serve(ln net.Listener) {
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			c.Close()
+			return
+		}
+		l.conns[c] = struct{}{}
+		l.mu.Unlock()
+		l.wg.Add(1)
+		go func() {
+			defer l.wg.Done()
+			l.serveConn(c)
+		}()
+	}
+}
+
+func (l *Leader) serveConn(c net.Conn) {
+	defer func() {
+		c.Close()
+		l.mu.Lock()
+		delete(l.conns, c)
+		l.mu.Unlock()
+	}()
+	br := bufio.NewReader(c)
+	for {
+		req, err := readMessage(br)
+		if err != nil {
+			if err != io.EOF {
+				l.cfg.logf("replica: leader read from %s: %v", c.RemoteAddr(), err)
+			}
+			return
+		}
+		if _, err := c.Write(EncodeMessage(l.Handle(req))); err != nil {
+			l.cfg.logf("replica: leader write to %s: %v", c.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// Close stops serving: open connections are closed and their loops
+// reaped. The store is left alone.
+func (l *Leader) Close() {
+	l.mu.Lock()
+	l.closed = true
+	for c := range l.conns {
+		c.Close()
+	}
+	l.mu.Unlock()
+	l.wg.Wait()
+}
+
+// readMessage reads one wire message from r.
+func readMessage(r io.Reader) (*Message, error) {
+	var hdr [wireHdrLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	buf := append([]byte(nil), hdr[:]...)
+	blen := uint32(hdr[5]) | uint32(hdr[6])<<8 | uint32(hdr[7])<<16 | uint32(hdr[8])<<24
+	if blen > maxWireBody {
+		return nil, fmt.Errorf("replica: implausible body length %d", blen)
+	}
+	buf = append(buf, make([]byte, blen)...)
+	if _, err := io.ReadFull(r, buf[wireHdrLen:]); err != nil {
+		return nil, err
+	}
+	return DecodeMessage(buf)
+}

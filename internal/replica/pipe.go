@@ -1,0 +1,163 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"adp/internal/fault"
+)
+
+// The in-process transport models the replication link as two lossy
+// message queues (follower→leader requests, leader→follower replies),
+// each threading a fault.NetInjector. Queue semantics — not strict
+// RPC — are deliberate: a duplicated request produces an extra reply
+// that a later Pull consumes as a stale answer, a dropped reply times
+// out the Pull that waited for it, and a reordered reply pairs with
+// the wrong request. The pull-from-durable-watermark protocol must
+// treat all of that as idempotent noise, and the chaos suite proves it
+// does.
+
+// pipeQueue is one direction of the link.
+type pipeQueue struct {
+	inj *fault.NetInjector
+	ch  chan []byte
+
+	mu   sync.Mutex
+	held [][]byte // reorder holds, flushed after the next delivery
+}
+
+func newPipeQueue(inj *fault.NetInjector) *pipeQueue {
+	return &pipeQueue{inj: inj, ch: make(chan []byte, 1024)}
+}
+
+// send applies the injector's plan for this message. Best-effort: a
+// full queue drops the message (the protocol re-requests).
+func (q *pipeQueue) send(msg []byte) {
+	act := q.inj.Plan()
+	if act.Drop {
+		return
+	}
+	if act.Hold {
+		q.mu.Lock()
+		q.held = append(q.held, msg)
+		q.mu.Unlock()
+		return
+	}
+	deliver := func() {
+		q.push(msg)
+		if act.Dup {
+			q.push(msg)
+		}
+		q.mu.Lock()
+		held := q.held
+		q.held = nil
+		q.mu.Unlock()
+		for _, h := range held {
+			q.push(h)
+		}
+	}
+	if act.Delay > 0 {
+		time.AfterFunc(act.Delay, deliver)
+		return
+	}
+	deliver()
+}
+
+func (q *pipeQueue) push(m []byte) {
+	select {
+	case q.ch <- m:
+	default:
+	}
+}
+
+func (q *pipeQueue) recv(ctx context.Context) ([]byte, error) {
+	select {
+	case m := <-q.ch:
+		return m, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Pipe is an in-process leader endpoint for tests and benches: a
+// goroutine drains the request queue through Leader.Handle and pushes
+// replies onto the reply queue, with independent injectors on each
+// direction.
+type Pipe struct {
+	leader *Leader
+	reqs   *pipeQueue
+	resps  *pipeQueue
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// NewPipe starts the leader-side pump. reqInj faults the
+// follower→leader direction, respInj the reverse; either may be nil.
+func NewPipe(l *Leader, reqInj, respInj *fault.NetInjector) *Pipe {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pipe{
+		leader: l,
+		reqs:   newPipeQueue(reqInj),
+		resps:  newPipeQueue(respInj),
+		ctx:    ctx,
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	go p.run()
+	return p
+}
+
+func (p *Pipe) run() {
+	defer close(p.done)
+	for {
+		raw, err := p.reqs.recv(p.ctx)
+		if err != nil {
+			return
+		}
+		req, derr := DecodeMessage(raw)
+		var resp *Message
+		if derr != nil {
+			resp = &Message{Type: MsgError, ErrCode: ErrCodeBadRequest, ErrMsg: derr.Error()}
+		} else {
+			resp = p.leader.Handle(req)
+		}
+		p.resps.send(EncodeMessage(resp))
+	}
+}
+
+// Close kills the leader-side pump; in-flight and future Pulls time
+// out, exactly like a dead leader.
+func (p *Pipe) Close() {
+	p.cancel()
+	<-p.done
+}
+
+// Dialer returns a Dialer producing connections over this pipe.
+func (p *Pipe) Dialer() Dialer {
+	return func(ctx context.Context) (Conn, error) {
+		if p.ctx.Err() != nil {
+			// Match a TCP dial against a dead listener.
+			return nil, errors.New("replica: pipe closed")
+		}
+		return &pipeConn{p: p}, nil
+	}
+}
+
+type pipeConn struct{ p *Pipe }
+
+// Pull enqueues the request and waits for the next reply on the link —
+// which, under duplication or reordering, may answer an earlier
+// request; the puller's idempotent apply absorbs that.
+func (c *pipeConn) Pull(ctx context.Context, req *Message) (*Message, error) {
+	c.p.reqs.send(EncodeMessage(req))
+	raw, err := c.p.resps.recv(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeMessage(raw)
+}
+
+func (c *pipeConn) Close() error { return nil }

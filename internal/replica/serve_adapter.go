@@ -1,0 +1,62 @@
+package replica
+
+import (
+	"adp/internal/serve"
+	"adp/internal/store"
+)
+
+// ServerApplier adapts a follower-mode serving daemon (serve.Server
+// with Config.ReadOnly) to the pump's Applier interface: every apply
+// routes through the server's apply loop, so replication serializes
+// with epoch publishes and followers serve reads that are never torn.
+type ServerApplier struct {
+	Srv *serve.Server
+}
+
+func (a *ServerApplier) ApplyFrames(frames []store.RawFrame) (uint64, int, error) {
+	return a.Srv.ReplApply(frames)
+}
+
+func (a *ServerApplier) InstallSnapshot(data []byte, lsn uint64) (uint64, error) {
+	return a.Srv.ReplInstallSnapshot(data, lsn)
+}
+
+func (a *ServerApplier) Promote() error { return a.Srv.PromoteToLeader() }
+
+func (a *ServerApplier) AppliedLSN() uint64 { return a.Srv.AppliedLSN() }
+
+// ServeStatus maps a follower pump's stats onto the serving plane's
+// /metrics replication block; register it with SetReplStatusFunc.
+func ServeStatus(f *Follower) func() serve.ReplStatus {
+	return func() serve.ReplStatus {
+		st := f.Stats()
+		role := "follower"
+		if st.Promoted {
+			role = "leader"
+		}
+		return serve.ReplStatus{
+			Role:               role,
+			AppliedLSN:         st.Applied,
+			LeaderCommittedLSN: st.LeaderCommitted,
+			LagFrames:          st.Lag,
+			Pulls:              st.Pulls,
+			PullErrors:         st.PullErrors,
+			FramesReceived:     st.Frames,
+			SnapshotsInstalled: st.Snapshots,
+			Promoted:           st.Promoted,
+			LastPullAgeMS:      int64(st.LastPullAgeMs),
+		}
+	}
+}
+
+// LeaderStatus maps a leader's follower watermarks onto the /metrics
+// replication block.
+func LeaderStatus(l *Leader, st *store.Store) func() serve.ReplStatus {
+	return func() serve.ReplStatus {
+		return serve.ReplStatus{
+			Role:       "leader",
+			AppliedLSN: st.CommittedLSN(),
+			Followers:  l.Watermarks(),
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package replica
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"time"
+)
+
+// TCPDialer produces connections to a leader's replication listener
+// (Leader.Serve). Each Pull is a strict request/response with the
+// ctx deadline applied to the socket; any error closes the connection
+// and the pump redials.
+func TCPDialer(addr string) Dialer {
+	return func(ctx context.Context) (Conn, error) {
+		d := net.Dialer{}
+		c, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return &tcpConn{c: c, br: bufio.NewReader(c)}, nil
+	}
+}
+
+type tcpConn struct {
+	c  net.Conn
+	br *bufio.Reader
+}
+
+func (t *tcpConn) Pull(ctx context.Context, req *Message) (*Message, error) {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		dl = time.Now().Add(time.Minute)
+	}
+	if err := t.c.SetDeadline(dl); err != nil {
+		return nil, err
+	}
+	if _, err := t.c.Write(EncodeMessage(req)); err != nil {
+		return nil, err
+	}
+	return readMessage(t.br)
+}
+
+func (t *tcpConn) Close() error { return t.c.Close() }

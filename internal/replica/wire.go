@@ -1,0 +1,257 @@
+// Package replica ships the store's WAL to followers: a leader serves
+// committed frames by LSN (pull-based), each follower replays them
+// into its own durable store and advertises an applied-LSN watermark
+// for bounded-staleness reads. The transport is a narrow seam — an
+// in-process pipe threading fault.NetInjector for deterministic chaos
+// tests, or TCP for real deployments — and every message is idempotent
+// by construction: followers pull from their own durable watermark, so
+// duplicated, reordered or re-sent frames are LSN-skipped no-ops. See
+// DESIGN.md, "Replication".
+package replica
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"adp/internal/store"
+)
+
+// Wire format (all little-endian). One message:
+//
+//	[wireMagic u32][type u8][bodyLen u32][body]
+//
+// Bodies by type:
+//
+//	MsgPull      [applied u64][max u32][idLen u8][id]
+//	MsgSnapReq   (empty) — bootstrap: send me your newest snapshot
+//	MsgFrames    [committed u64][count u32] then count ×
+//	             [lsn u64][kind u8][bodyLen u32][frame body]
+//	MsgSnapshot  [lsn u64][dataLen u32][data]
+//	MsgError     [code u8][msgLen u32][msg]
+//
+// The frame bodies are the leader's WAL payload bodies verbatim; the
+// follower re-frames them through the store's appendFrame, which
+// reproduces the leader's on-disk bytes bit-for-bit.
+
+const (
+	wireMagic   = uint32(0xAD9A_0010)
+	wireHdrLen  = 9
+	maxWireBody = 1 << 30 // snapshots dominate; frames are tiny
+	maxWireID   = 255
+)
+
+// MsgType enumerates replication messages.
+type MsgType uint8
+
+const (
+	MsgPull MsgType = iota + 1
+	MsgSnapReq
+	MsgFrames
+	MsgSnapshot
+	MsgError
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgPull:
+		return "pull"
+	case MsgSnapReq:
+		return "snapreq"
+	case MsgFrames:
+		return "frames"
+	case MsgSnapshot:
+		return "snapshot"
+	case MsgError:
+		return "error"
+	}
+	return "invalid"
+}
+
+// Error codes carried by MsgError.
+const (
+	// ErrCodeDiverged: the follower's applied LSN is beyond the leader's
+	// committed watermark — it replicated from a different history (a
+	// stale ex-leader) and must be re-bootstrapped by an operator.
+	ErrCodeDiverged = uint8(1)
+	// ErrCodeBadRequest: the leader could not make sense of the message.
+	ErrCodeBadRequest = uint8(2)
+	// ErrCodeInternal: the leader failed to read its own log/snapshot.
+	ErrCodeInternal = uint8(3)
+)
+
+// ErrDiverged is the follower-side sentinel for ErrCodeDiverged.
+var ErrDiverged = errors.New("replica: follower history diverged from leader; re-bootstrap required")
+
+// Message is one decoded replication message (a union over the types).
+type Message struct {
+	Type MsgType
+
+	// MsgPull
+	Applied uint64
+	Max     uint32
+	ID      string
+
+	// MsgFrames
+	Committed uint64
+	Frames    []store.RawFrame
+
+	// MsgSnapshot
+	SnapLSN  uint64
+	Snapshot []byte
+
+	// MsgError
+	ErrCode uint8
+	ErrMsg  string
+}
+
+// EncodeMessage renders m as one wire message.
+func EncodeMessage(m *Message) []byte {
+	var body []byte
+	switch m.Type {
+	case MsgPull:
+		id := m.ID
+		if len(id) > maxWireID {
+			id = id[:maxWireID]
+		}
+		body = make([]byte, 13, 13+len(id))
+		binary.LittleEndian.PutUint64(body, m.Applied)
+		binary.LittleEndian.PutUint32(body[8:], m.Max)
+		body[12] = byte(len(id))
+		body = append(body, id...)
+	case MsgSnapReq:
+	case MsgFrames:
+		n := 12
+		for _, f := range m.Frames {
+			n += 13 + len(f.Body)
+		}
+		body = make([]byte, 12, n)
+		binary.LittleEndian.PutUint64(body, m.Committed)
+		binary.LittleEndian.PutUint32(body[8:], uint32(len(m.Frames)))
+		var hdr [13]byte
+		for _, f := range m.Frames {
+			binary.LittleEndian.PutUint64(hdr[:], f.LSN)
+			hdr[8] = f.Kind
+			binary.LittleEndian.PutUint32(hdr[9:], uint32(len(f.Body)))
+			body = append(body, hdr[:]...)
+			body = append(body, f.Body...)
+		}
+	case MsgSnapshot:
+		body = make([]byte, 12, 12+len(m.Snapshot))
+		binary.LittleEndian.PutUint64(body, m.SnapLSN)
+		binary.LittleEndian.PutUint32(body[8:], uint32(len(m.Snapshot)))
+		body = append(body, m.Snapshot...)
+	case MsgError:
+		body = make([]byte, 5, 5+len(m.ErrMsg))
+		body[0] = m.ErrCode
+		binary.LittleEndian.PutUint32(body[1:], uint32(len(m.ErrMsg)))
+		body = append(body, m.ErrMsg...)
+	}
+	out := make([]byte, wireHdrLen, wireHdrLen+len(body))
+	binary.LittleEndian.PutUint32(out, wireMagic)
+	out[4] = byte(m.Type)
+	binary.LittleEndian.PutUint32(out[5:], uint32(len(body)))
+	return append(out, body...)
+}
+
+// DecodeMessage parses exactly one wire message. It never panics on
+// malformed input (FuzzReplicationFrame pins this) and never
+// over-allocates beyond the input length.
+func DecodeMessage(data []byte) (*Message, error) {
+	if len(data) < wireHdrLen {
+		return nil, fmt.Errorf("replica: message too short (%d bytes)", len(data))
+	}
+	if binary.LittleEndian.Uint32(data) != wireMagic {
+		return nil, errors.New("replica: bad magic")
+	}
+	typ := MsgType(data[4])
+	blen := binary.LittleEndian.Uint32(data[5:])
+	if blen > maxWireBody {
+		return nil, fmt.Errorf("replica: implausible body length %d", blen)
+	}
+	if uint64(len(data)) != uint64(wireHdrLen)+uint64(blen) {
+		return nil, fmt.Errorf("replica: message is %d bytes, header declares %d", len(data), wireHdrLen+int(blen))
+	}
+	return decodeBody(typ, data[wireHdrLen:])
+}
+
+func decodeBody(typ MsgType, body []byte) (*Message, error) {
+	m := &Message{Type: typ}
+	switch typ {
+	case MsgPull:
+		if len(body) < 13 {
+			return nil, fmt.Errorf("replica: pull body is %d bytes, want >= 13", len(body))
+		}
+		m.Applied = binary.LittleEndian.Uint64(body)
+		m.Max = binary.LittleEndian.Uint32(body[8:])
+		idLen := int(body[12])
+		if len(body) != 13+idLen {
+			return nil, fmt.Errorf("replica: pull body is %d bytes, id declares %d", len(body), idLen)
+		}
+		m.ID = string(body[13:])
+	case MsgSnapReq:
+		if len(body) != 0 {
+			return nil, fmt.Errorf("replica: snapreq body is %d bytes, want 0", len(body))
+		}
+	case MsgFrames:
+		if len(body) < 12 {
+			return nil, fmt.Errorf("replica: frames body is %d bytes, want >= 12", len(body))
+		}
+		m.Committed = binary.LittleEndian.Uint64(body)
+		count := binary.LittleEndian.Uint32(body[8:])
+		// A frame costs at least 13 bytes on the wire; reject counts the
+		// body cannot hold before allocating.
+		if uint64(count)*13 > uint64(len(body)-12) {
+			return nil, fmt.Errorf("replica: %d frames cannot fit in %d body bytes", count, len(body))
+		}
+		off := 12
+		m.Frames = make([]store.RawFrame, 0, count)
+		for i := uint32(0); i < count; i++ {
+			if len(body)-off < 13 {
+				return nil, fmt.Errorf("replica: torn frame header at offset %d", off)
+			}
+			f := store.RawFrame{
+				LSN:  binary.LittleEndian.Uint64(body[off:]),
+				Kind: body[off+8],
+			}
+			fl := binary.LittleEndian.Uint32(body[off+9:])
+			off += 13
+			if fl > 1<<16 {
+				return nil, fmt.Errorf("replica: implausible frame body length %d", fl)
+			}
+			if len(body)-off < int(fl) {
+				return nil, fmt.Errorf("replica: torn frame body at offset %d", off)
+			}
+			f.Body = append([]byte(nil), body[off:off+int(fl)]...)
+			off += int(fl)
+			m.Frames = append(m.Frames, f)
+		}
+		if off != len(body) {
+			return nil, fmt.Errorf("replica: %d trailing bytes after %d frames", len(body)-off, count)
+		}
+	case MsgSnapshot:
+		if len(body) < 12 {
+			return nil, fmt.Errorf("replica: snapshot body is %d bytes, want >= 12", len(body))
+		}
+		m.SnapLSN = binary.LittleEndian.Uint64(body)
+		dl := binary.LittleEndian.Uint32(body[8:])
+		if len(body) != 12+int(dl) {
+			return nil, fmt.Errorf("replica: snapshot body is %d bytes, data declares %d", len(body), dl)
+		}
+		m.Snapshot = append([]byte(nil), body[12:]...)
+	case MsgError:
+		if len(body) < 5 {
+			return nil, fmt.Errorf("replica: error body is %d bytes, want >= 5", len(body))
+		}
+		m.ErrCode = body[0]
+		ml := binary.LittleEndian.Uint32(body[1:])
+		if len(body) != 5+int(ml) {
+			return nil, fmt.Errorf("replica: error body is %d bytes, message declares %d", len(body), ml)
+		}
+		m.ErrMsg = string(body[5:])
+	default:
+		return nil, fmt.Errorf("replica: unknown message type %d", uint8(typ))
+	}
+	return m, nil
+}

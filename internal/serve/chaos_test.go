@@ -3,7 +3,6 @@ package serve
 import (
 	"fmt"
 	"net/http"
-	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -15,6 +14,7 @@ import (
 	"adp/internal/graph"
 	"adp/internal/pool"
 	"adp/internal/store"
+	"adp/internal/testutil"
 )
 
 // TestServeChaos threads both injector families through a live server:
@@ -35,8 +35,7 @@ func TestServeChaos(t *testing.T) {
 	if _, err := algorithms.Run(engine.NewCluster(warm).UsePool(pl), costmodel.WCC, algorithms.Options{}); err != nil {
 		t.Fatal(err)
 	}
-	runtime.GC()
-	baseGoroutines := runtime.NumGoroutine()
+	baseGoroutines := testutil.GoroutineBaseline()
 
 	// Engine chaos: every /run session gets a clone of this schedule —
 	// a worker crash, a transient failure and a straggler per run, all
@@ -160,20 +159,7 @@ func TestServeChaos(t *testing.T) {
 	// what matters is that drain returns and nothing leaks.
 	drainErr := ts.drain()
 	t.Logf("drain after poison: %v", drainErr)
-	http.DefaultClient.CloseIdleConnections()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		runtime.GC()
-		if n := runtime.NumGoroutine(); n <= baseGoroutines+2 {
-			break
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<16)
-			t.Fatalf("goroutines grew from %d to %d after drain\n%s",
-				baseGoroutines, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	testutil.CheckGoroutines(t, baseGoroutines, 2)
 
 	// Restart: recovery lands on a commit boundary covering either the
 	// acked prefix or acked+1 (the failed fsync's data may have reached

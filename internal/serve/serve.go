@@ -93,6 +93,23 @@ type Config struct {
 	// baseline the COW publish is gated against; production leaves it
 	// off.
 	FullClonePublish bool
+	// ReadOnly starts the server in follower mode: POST /updates is
+	// rejected (or forwarded, see LeaderURL) and the composite advances
+	// only through the replication surface (ReplApply and friends).
+	// PromoteToLeader clears it at failover.
+	ReadOnly bool
+	// LeaderURL, when set on a follower, forwards POST /updates to the
+	// leader instead of rejecting them with the not_leader error class.
+	LeaderURL string
+	// ReplWait, when non-nil on a leader, is consulted after each durable
+	// update batch: it blocks until the batch's LSN is durably replicated
+	// (replica.Leader.WaitDurable) or the context ends. A wait failure
+	// does NOT fail the request — the batch is locally durable — but the
+	// ack carries replicated=false so the client knows the replication
+	// guarantee is unconfirmed.
+	ReplWait func(ctx context.Context, lsn uint64) error
+	// ReplWaitTimeout bounds each ReplWait call. Default 2s.
+	ReplWaitTimeout time.Duration
 	// Logf, when non-nil, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -121,6 +138,9 @@ func (c *Config) fill() {
 	}
 	if c.ApplyRetryBase <= 0 {
 		c.ApplyRetryBase = 2 * time.Millisecond
+	}
+	if c.ReplWaitTimeout <= 0 {
+		c.ReplWaitTimeout = 2 * time.Second
 	}
 }
 
@@ -157,6 +177,10 @@ type Server struct {
 	// apply loop. Unbuffered: senders block until the single writer
 	// accepts (or abort on baseCtx when a drain races them).
 	swaps chan *swapRequest
+	// repl carries replication requests (frame batches, snapshot
+	// installs, promotion) into the apply loop, same discipline as
+	// swaps: unbuffered, abort on baseCtx.
+	repl chan *replReq
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -165,6 +189,7 @@ type Server struct {
 
 	draining    atomic.Bool
 	storeFailed atomic.Bool
+	readOnly    atomic.Bool
 
 	// Maintenance delta capture (guarded by capMu; written by the
 	// apply loop, armed/drained by the maintenance loop).
@@ -186,6 +211,12 @@ type Server struct {
 	maintMu     sync.Mutex
 	maintStatus func() MaintStatus
 
+	// Replication /metrics provider (registered by the process wiring —
+	// cmd/adserve or a test harness — never by this package, which must
+	// not import internal/replica).
+	replMu         sync.Mutex
+	replStatusFunc func() ReplStatus
+
 	// Epoch memory accounting (guarded by epochMu): superseded epochs
 	// still pinned by in-flight readers, plus the last publish's
 	// sharing breakdown. Epochs are reclaimed by the garbage collector;
@@ -204,6 +235,8 @@ type Server struct {
 	applyRetries    atomic.Int64
 	maintPromotions atomic.Int64
 	maintRollbacks  atomic.Int64
+	replCommits     atomic.Int64
+	replSnapshots   atomic.Int64
 	lastLSN         atomic.Uint64
 	committed       atomic.Int64
 }
@@ -224,7 +257,9 @@ func New(st *store.Store, cfg Config) (*Server, error) {
 		admit:   make(chan struct{}, cfg.MaxInflight),
 		updates: make(chan *updateBatch, cfg.UpdateQueue),
 		swaps:   make(chan *swapRequest),
+		repl:    make(chan *replReq),
 	}
+	s.readOnly.Store(cfg.ReadOnly)
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	s.publish(comp)
 	s.lastLSN.Store(st.LSN())
@@ -298,7 +333,10 @@ func (s *Server) publish(comp *composite.Composite) *epoch {
 		seq = old.seq + 1
 	}
 	start := time.Now()
-	ne := s.newEpoch(seq, s.cutComposite(comp), s.st.LSN())
+	// The epoch advertises the durable watermark, not the last appended
+	// LSN: bounded-staleness reads (min_lsn) promise "this epoch covers
+	// every commit up to lsn", which only the committed prefix delivers.
+	ne := s.newEpoch(seq, s.cutComposite(comp), s.st.CommittedLSN())
 	elapsed := time.Since(start)
 	s.cur.Store(ne)
 	s.recordPublish(old, ne, elapsed)
@@ -452,6 +490,8 @@ func (s *Server) applyLoop() {
 			s.applyWave(wave)
 		case sr := <-s.swaps:
 			s.applySwap(sr)
+		case rr := <-s.repl:
+			s.applyRepl(rr)
 		}
 	}
 }

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -17,46 +18,46 @@ import (
 
 // SnapshotStatus describes one snapshot file.
 type SnapshotStatus struct {
-	Name  string
-	LSN   uint64
-	Bytes int64
+	Name  string `json:"name"`
+	LSN   uint64 `json:"lsn"`
+	Bytes int64  `json:"bytes"`
 	// Err is empty for a readable snapshot. Deep parsing requires the
 	// graph; with a nil graph only existence and size are checked and
 	// Err is empty unless the file is unreadable.
-	Err string
+	Err string `json:"error,omitempty"`
 }
 
 // SegmentStatus describes one WAL segment file.
 type SegmentStatus struct {
-	Name     string
-	StartLSN uint64
-	Bytes    int64
+	Name     string `json:"name"`
+	StartLSN uint64 `json:"start_lsn"`
+	Bytes    int64  `json:"bytes"`
 	// Frames counts cleanly decoded frames; Commits the commit markers
 	// among them; Mutations the insert/delete records.
-	Frames    int
-	Commits   int
-	Mutations int
-	LastLSN   uint64
+	Frames    int    `json:"frames"`
+	Commits   int    `json:"commits"`
+	Mutations int    `json:"mutations"`
+	LastLSN   uint64 `json:"last_lsn"`
 	// Damage is non-nil when decoding stopped before the end of file.
-	Damage *Damage
+	Damage *Damage `json:"damage,omitempty"`
 	// UncommittedFrames counts clean frames after the last commit
 	// marker (an un-acked tail — not damage, but Open will discard it).
-	UncommittedFrames int
+	UncommittedFrames int `json:"uncommitted_frames"`
 	// CommittedEnd is the byte offset just past the last commit marker
 	// (the repair truncation point when Damage is set).
-	CommittedEnd int64
+	CommittedEnd int64 `json:"committed_end"`
 }
 
 // FsckReport is the full classification of a store directory.
 type FsckReport struct {
-	Dir       string
-	Snapshots []SnapshotStatus
-	Segments  []SegmentStatus
+	Dir       string           `json:"dir"`
+	Snapshots []SnapshotStatus `json:"snapshots"`
+	Segments  []SegmentStatus  `json:"segments"`
 	// ChainBroken notes an LSN discontinuity between segments, with the
 	// offending segment name.
-	ChainBroken string
+	ChainBroken string `json:"chain_broken,omitempty"`
 	// Repaired lists the repair actions taken (empty without repair).
-	Repaired []string
+	Repaired []string `json:"repaired,omitempty"`
 }
 
 // Healthy reports whether every snapshot parses, every frame decodes,
@@ -111,6 +112,18 @@ func (r *FsckReport) Format(w io.Writer) {
 	for _, a := range r.Repaired {
 		fmt.Fprintf(w, "  repaired: %s\n", a)
 	}
+}
+
+// WriteJSON renders the report machine-readably (`adpart -fsck -json`):
+// the full classification plus the aggregate health verdict, so chaos
+// suites and operators can assert on frame classes programmatically.
+func (r *FsckReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Healthy bool `json:"healthy"`
+		*FsckReport
+	}{r.Healthy(), r})
 }
 
 // Fsck walks the store directory and classifies every file. g enables
@@ -171,6 +184,9 @@ func Fsck(dir string, g *graph.Graph, repair bool) (*FsckReport, error) {
 			continue
 		}
 		st.Bytes = int64(len(data))
+		// v2 headers are longer than the fixed 8 bytes; the truncation
+		// floor must not cut into them.
+		st.CommittedEnd = segmentHeaderLen(data)
 		if next != 0 && lsn != next && rep.ChainBroken == "" {
 			rep.ChainBroken = fmt.Sprintf("%s (starts at lsn %d, previous segment ends at %d)", st.Name, lsn, next-1)
 		}

@@ -1,0 +1,295 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+
+	"adp/internal/composite"
+	"adp/internal/graph"
+)
+
+// Follower-role store primitives for WAL-shipping replication
+// (internal/replica). A follower appends the leader's frames verbatim
+// — same LSNs, same payload bytes — so the two logs describe one
+// shared LSN space and idempotence reduces to an LSN comparison.
+// Mutations are staged in memory and folded into the composite only
+// when their commit marker is durably on disk, mirroring replay(): the
+// follower's disk always holds a committed prefix of the leader's
+// history, no matter where the stream dies.
+
+// replStagedMut is one decoded-but-uncommitted replicated mutation.
+type replStagedMut struct {
+	insert bool
+	u, v   graph.VertexID
+	dest   []int
+}
+
+// CreateReplica initialises dir (created if missing, must not already
+// hold a store) as a follower bootstrapped from a leader snapshot: the
+// raw snapshot bytes are persisted verbatim at snapLSN and replication
+// resumes at snapLSN+1.
+func CreateReplica(dir string, g *graph.Graph, snap []byte, snapLSN uint64, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	fs := withInjector(vfs(osVFS{}), opts.Injector)
+	names, err := fs.List(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for _, n := range names {
+		_, isSnap := parseSnapName(n)
+		_, isWAL := parseWALName(n)
+		if isSnap || isWAL {
+			return nil, fmt.Errorf("store: %s already holds a store (found %s); use Open", dir, n)
+		}
+	}
+	comp, err := composite.ReadDynamic(bytes.NewReader(snap), g)
+	if err != nil {
+		return nil, fmt.Errorf("store: decoding leader snapshot: %w", err)
+	}
+	s := &Store{
+		dir:     dir,
+		fs:      fs,
+		opts:    opts,
+		g:       g,
+		comp:    comp,
+		snapLSN: snapLSN,
+		nextLSN: snapLSN + 1,
+	}
+	if err := s.writeRawSnapshot(snap, snapLSN); err != nil {
+		return nil, err
+	}
+	if err := s.openSegment(); err != nil {
+		return nil, err
+	}
+	s.commitLSN.Store(snapLSN)
+	return s, nil
+}
+
+// writeRawSnapshot persists already-encoded snapshot bytes atomically
+// (temp file + fsync + rename), bit-identical to the leader's file.
+func (s *Store) writeRawSnapshot(data []byte, lsn uint64) error {
+	final := snapName(lsn)
+	tmp := final + ".tmp"
+	f, err := s.fs.Create(join(s.dir, tmp))
+	if err != nil {
+		return fmt.Errorf("store: creating snapshot: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: closing snapshot: %w", err)
+	}
+	if err := s.fs.Rename(join(s.dir, tmp), join(s.dir, final)); err != nil {
+		return fmt.Errorf("store: publishing snapshot: %w", err)
+	}
+	s.snapLSN = lsn
+	s.mutsSinceSnap = 0
+	return nil
+}
+
+// AppendReplicated ingests a run of leader frames. Frames at or below
+// the follower's next LSN are idempotent no-ops (duplicates from
+// resumes, retries or reordered deliveries); a frame beyond it returns
+// a *GapError without disturbing staged state — the caller re-requests
+// from CommittedLSN()+1 and the staged prefix deduplicates itself.
+// Mutations reach the composite and the commit watermark only when
+// their commit marker is durably appended. Returns how many commit
+// boundaries landed.
+func (s *Store) AppendReplicated(frames []RawFrame) (commits int, err error) {
+	if err := s.ready(); err != nil {
+		return 0, err
+	}
+	nVerts := uint64(s.g.NumVertices())
+	for _, f := range frames {
+		if f.LSN < s.nextLSN {
+			continue // already durable or already staged
+		}
+		if f.LSN > s.nextLSN {
+			return commits, &GapError{Want: s.nextLSN, Got: f.LSN}
+		}
+		switch recKind(f.Kind) {
+		case recDest:
+			dest, derr := decodeDest(f.Body)
+			if derr != nil {
+				return commits, s.fail(fmt.Errorf("store: replicated frame %d: %w", f.LSN, derr))
+			}
+			if len(dest) != s.comp.K() {
+				return commits, s.fail(fmt.Errorf("store: replicated dest at lsn %d has %d entries, composite has %d partitions", f.LSN, len(dest), s.comp.K()))
+			}
+			for _, d := range dest {
+				if d < 0 || d >= s.comp.N() {
+					return commits, s.fail(fmt.Errorf("store: replicated dest at lsn %d: fragment %d out of range [0,%d)", f.LSN, d, s.comp.N()))
+				}
+			}
+			s.replDest = dest
+		case recInsert, recDelete:
+			u, v, derr := decodeEdge(f.Body)
+			if derr != nil {
+				return commits, s.fail(fmt.Errorf("store: replicated frame %d: %w", f.LSN, derr))
+			}
+			if uint64(u) >= nVerts || uint64(v) >= nVerts {
+				return commits, s.fail(fmt.Errorf("store: replicated edge (%d,%d) at lsn %d beyond %d vertices", u, v, f.LSN, nVerts))
+			}
+			if recKind(f.Kind) == recInsert && s.replDest == nil {
+				return commits, s.fail(fmt.Errorf("store: replicated insert at lsn %d with no destination vector in effect", f.LSN))
+			}
+			s.replStaged = append(s.replStaged, replStagedMut{insert: recKind(f.Kind) == recInsert, u: u, v: v, dest: s.replDest})
+			s.pendingMuts++
+		case recCommit:
+			if len(f.Body) != 4 {
+				return commits, s.fail(fmt.Errorf("store: replicated commit at lsn %d has %d body bytes, want 4", f.LSN, len(f.Body)))
+			}
+		default:
+			return commits, s.fail(fmt.Errorf("store: replicated frame %d has unknown kind %d", f.LSN, f.Kind))
+		}
+		s.pending = appendFrame(s.pending, f.LSN, recKind(f.Kind), f.Body)
+		s.nextLSN = f.LSN + 1
+		if recKind(f.Kind) == recCommit {
+			if err := s.replCommit(); err != nil {
+				return commits, err
+			}
+			commits++
+		}
+	}
+	// Compact only on a commit boundary: a dest-only partial batch still
+	// has pending bytes, and Snapshot's implicit commit would mint a
+	// commit frame at an LSN the leader owns.
+	if s.opts.SnapshotEvery > 0 && s.mutsSinceSnap >= s.opts.SnapshotEvery &&
+		len(s.pending) == 0 && len(s.replStaged) == 0 {
+		if err := s.Snapshot(); err != nil {
+			return commits, err
+		}
+	}
+	return commits, nil
+}
+
+// replCommit makes the staged batch durable and visible, mirroring
+// commit(): one append of every frame since the last boundary, fsync
+// per SyncEvery (a failed fsync poisons retryably — RetrySync finishes
+// the bookkeeping AND the staged fold), then the composite apply and
+// the watermark advance.
+func (s *Store) replCommit() error {
+	if _, err := s.seg.Write(s.pending); err != nil {
+		return s.fail(fmt.Errorf("store: appending replicated batch: %w", err))
+	}
+	s.commitsSinceSync++
+	if s.commitsSinceSync >= s.opts.syncEvery() {
+		if err := s.seg.Sync(); err != nil {
+			s.retrySync = true
+			return s.fail(fmt.Errorf("store: syncing replicated log: %w", err))
+		}
+		s.commitsSinceSync = 0
+	}
+	s.committed += int64(s.pendingMuts)
+	s.mutsSinceSnap += s.pendingMuts
+	s.pending = s.pending[:0]
+	s.pendingMuts = 0
+	if err := s.applyReplStaged(); err != nil {
+		return err
+	}
+	s.commitLSN.Store(s.nextLSN - 1)
+	return nil
+}
+
+// applyReplStaged folds the staged replicated mutations into the
+// composite. A failure here is unreachable after frame validation and
+// poisons the store (the composite may be half-updated).
+func (s *Store) applyReplStaged() error {
+	for _, m := range s.replStaged {
+		if m.insert {
+			if err := s.comp.InsertEdge(m.u, m.v, m.dest); err != nil {
+				return s.fail(fmt.Errorf("store: applying replicated insert (%d,%d): %w", m.u, m.v, err))
+			}
+		} else {
+			s.comp.DeleteEdge(m.u, m.v)
+		}
+	}
+	s.replStaged = s.replStaged[:0]
+	return nil
+}
+
+// AbortReplicated discards staged-but-uncommitted replicated state
+// after a stream break: in-memory only (nothing of the partial batch
+// has touched disk or the composite), rewinding the next expected LSN
+// to just past the durable watermark. Poison is untouched.
+func (s *Store) AbortReplicated() {
+	s.pending = s.pending[:0]
+	s.pendingMuts = 0
+	s.replStaged = s.replStaged[:0]
+	s.nextLSN = s.commitLSN.Load() + 1
+}
+
+// RotateSegment syncs and closes the active segment and opens a fresh
+// one at the next LSN — the promotion step that fences a follower's
+// log before it starts accepting its own writes. The caller must have
+// no pending batch (call AbortReplicated first on a follower).
+func (s *Store) RotateSegment() error {
+	if err := s.ready(); err != nil {
+		return err
+	}
+	if len(s.pending) > 0 || len(s.replStaged) > 0 {
+		return fmt.Errorf("store: rotate with %d pending bytes; abort or commit first", len(s.pending))
+	}
+	if err := s.seg.Sync(); err != nil {
+		s.retrySync = true
+		return s.fail(fmt.Errorf("store: syncing log before rotate: %w", err))
+	}
+	s.commitsSinceSync = 0
+	if err := s.seg.Close(); err != nil {
+		s.seg = nil
+		return s.fail(fmt.Errorf("store: closing segment: %w", err))
+	}
+	s.seg = nil
+	return s.openSegment()
+}
+
+// InstallSnapshot replaces the follower's state with a leader snapshot
+// taken beyond the follower's position — the catch-up path when the
+// leader compacted the frames the follower still needed. The snapshot
+// bytes are persisted verbatim, the composite swapped, the log
+// re-based at lsn+1 and old segments compacted away. Staged state is
+// discarded.
+func (s *Store) InstallSnapshot(data []byte, lsn uint64) error {
+	if err := s.ready(); err != nil {
+		return err
+	}
+	if lsn <= s.commitLSN.Load() {
+		return fmt.Errorf("store: snapshot at lsn %d does not advance the watermark (%d)", lsn, s.commitLSN.Load())
+	}
+	comp, err := composite.ReadDynamic(bytes.NewReader(data), s.g)
+	if err != nil {
+		return fmt.Errorf("store: decoding leader snapshot: %w", err)
+	}
+	s.AbortReplicated()
+	s.replDest = nil
+	if err := s.seg.Sync(); err != nil {
+		s.retrySync = true
+		return s.fail(fmt.Errorf("store: syncing log before snapshot install: %w", err))
+	}
+	s.commitsSinceSync = 0
+	if err := s.seg.Close(); err != nil {
+		s.seg = nil
+		return s.fail(fmt.Errorf("store: closing segment: %w", err))
+	}
+	s.seg = nil
+	if err := s.writeRawSnapshot(data, lsn); err != nil {
+		return s.fail(err)
+	}
+	s.comp = comp
+	s.nextLSN = lsn + 1
+	if err := s.openSegment(); err != nil {
+		return err
+	}
+	s.commitLSN.Store(lsn)
+	s.compact()
+	return nil
+}

@@ -1,0 +1,426 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"adp/internal/fault"
+)
+
+// catchUp pulls the leader's committed tail into the follower until the
+// watermarks meet, max frames per round, and returns rounds used.
+func catchUp(t *testing.T, leader, follower *Store, max int) int {
+	t.Helper()
+	rounds := 0
+	for follower.CommittedLSN() < leader.CommittedLSN() {
+		rounds++
+		if rounds > 10000 {
+			t.Fatalf("catch-up stuck at lsn %d (leader %d)", follower.CommittedLSN(), leader.CommittedLSN())
+		}
+		frames, _, err := leader.TailFrom(follower.CommittedLSN()+1, max)
+		if errors.Is(err, ErrCompacted) {
+			lsn, data, serr := leader.NewestSnapshot()
+			if serr != nil {
+				t.Fatal(serr)
+			}
+			if err := follower.InstallSnapshot(data, lsn); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := follower.AppendReplicated(frames); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rounds
+}
+
+// bootstrapReplica clones a follower store off the leader's newest
+// snapshot.
+func bootstrapReplica(t *testing.T, leader *Store, dir string, opts Options) *Store {
+	t.Helper()
+	lsn, data, err := leader.NewestSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := CreateReplica(dir, leader.g, data, lsn, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestReplicaCatchUpBitwise is the core replication oracle: a follower
+// bootstrapped from the leader's snapshot and fed the committed tail
+// (in small, re-requested chunks) converges to EqualState, its log
+// serves the identical frames back out (same LSNs, kinds and payload
+// bytes — appendFrame re-framing is bit-exact), and a reopen of the
+// follower directory recovers the same state with no damage.
+func TestReplicaCatchUpBitwise(t *testing.T) {
+	g, c := testComposite(t)
+	dirL, dirF := t.TempDir()+"/lead", t.TempDir()+"/fol"
+	leader, err := Create(dirL, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+
+	follower := bootstrapReplica(t, leader, dirF, Options{})
+	defer follower.Close()
+	if got, want := follower.CommittedLSN(), leader.CommittedLSN(); got != want {
+		t.Fatalf("bootstrap watermark %d, leader %d", got, want)
+	}
+
+	// Mutate the leader in several committed batches.
+	muts := genMutations(t, g, c.Clone(), 120, 7)
+	for i := 0; i < len(muts); i += 10 {
+		end := i + 10
+		if end > len(muts) {
+			end = len(muts)
+		}
+		if _, _, err := leader.Apply(append(muts[i:end:end], Mutation{Kind: MutCommit})); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	catchUp(t, leader, follower, 7) // deliberately small pulls
+
+	if err := follower.Composite().EqualState(leader.Composite()); err != nil {
+		t.Fatalf("follower diverged after catch-up: %v", err)
+	}
+
+	// Frame-for-frame identity of the two logs over the shared range.
+	from := follower.snapLSN + 1
+	lf, _, err := leader.TailFrom(from, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, _, err := follower.TailFrom(from, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lf) != len(ff) {
+		t.Fatalf("leader serves %d frames, follower %d", len(lf), len(ff))
+	}
+	for i := range lf {
+		if lf[i].LSN != ff[i].LSN || lf[i].Kind != ff[i].Kind || string(lf[i].Body) != string(ff[i].Body) {
+			t.Fatalf("frame %d differs: leader (%d,%d,%x) follower (%d,%d,%x)",
+				i, lf[i].LSN, lf[i].Kind, lf[i].Body, ff[i].LSN, ff[i].Kind, ff[i].Body)
+		}
+	}
+
+	// Reopen the follower directory: recovery must land exactly on the
+	// replicated committed prefix.
+	wm := follower.CommittedLSN()
+	if err := follower.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, info, err := Open(dirF, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if info.Damage != nil {
+		t.Fatalf("follower reopen found damage: %v", info)
+	}
+	if re.CommittedLSN() != wm {
+		t.Fatalf("reopened follower watermark %d, want %d", re.CommittedLSN(), wm)
+	}
+	if err := re.Composite().EqualState(leader.Composite()); err != nil {
+		t.Fatalf("reopened follower diverged: %v", err)
+	}
+}
+
+// TestAppendReplicatedIdempotentAndGapped pins the two stream-anomaly
+// behaviours: duplicated (and re-sent) frames are no-ops, and a frame
+// skipping ahead returns *GapError without disturbing state, so
+// re-pulling from the watermark completes the batch.
+func TestAppendReplicatedIdempotentAndGapped(t *testing.T) {
+	g, c := testComposite(t)
+	leader, err := Create(t.TempDir()+"/lead", c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	follower := bootstrapReplica(t, leader, t.TempDir()+"/fol", Options{})
+	defer follower.Close()
+
+	muts := genMutations(t, g, c.Clone(), 30, 11)
+	if _, _, err := leader.Apply(append(muts[:len(muts):len(muts)], Mutation{Kind: MutCommit})); err != nil {
+		t.Fatal(err)
+	}
+	frames, _, err := leader.TailFrom(follower.CommittedLSN()+1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) < 3 {
+		t.Fatalf("test needs >= 3 frames, got %d", len(frames))
+	}
+
+	// A gap: skip the first frame entirely.
+	if _, err := follower.AppendReplicated(frames[1:]); err == nil {
+		t.Fatal("gapped stream accepted")
+	} else {
+		var gap *GapError
+		if !errors.As(err, &gap) {
+			t.Fatalf("gapped stream returned %v, want *GapError", err)
+		}
+		if gap.Want != frames[0].LSN || gap.Got != frames[1].LSN {
+			t.Fatalf("gap (want=%d got=%d), frames start at %d/%d", gap.Want, gap.Got, frames[0].LSN, frames[1].LSN)
+		}
+	}
+
+	// Duplicates inside the run and a full re-send: all absorbed.
+	dup := append(append([]RawFrame(nil), frames[:2]...), frames...)
+	if _, err := follower.AppendReplicated(dup); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := follower.AppendReplicated(frames); err != nil {
+		t.Fatal(err)
+	}
+	if follower.CommittedLSN() != leader.CommittedLSN() {
+		t.Fatalf("watermark %d, want %d", follower.CommittedLSN(), leader.CommittedLSN())
+	}
+	if err := follower.Composite().EqualState(leader.Composite()); err != nil {
+		t.Fatalf("follower diverged: %v", err)
+	}
+}
+
+// TestAbortReplicatedAndRotate exercises the promotion-side primitives:
+// a partial (uncommitted) batch is discarded in memory by
+// AbortReplicated, RotateSegment fences the log, and the promoted store
+// accepts its own writes and reopens cleanly — committed replicated
+// state intact, discarded partial batch invisible.
+func TestAbortReplicatedAndRotate(t *testing.T) {
+	g, c := testComposite(t)
+	dirF := t.TempDir() + "/fol"
+	leader, err := Create(t.TempDir()+"/lead", c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	follower := bootstrapReplica(t, leader, dirF, Options{})
+	defer follower.Close()
+
+	muts := genMutations(t, g, c.Clone(), 40, 13)
+	for i := 0; i < 40; i += 20 {
+		if _, _, err := leader.Apply(append(muts[i:i+20:i+20], Mutation{Kind: MutCommit})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frames, _, err := leader.TailFrom(follower.CommittedLSN()+1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the first commit boundary; feed one full batch plus a torn
+	// prefix of the second.
+	firstCommit := -1
+	for i, f := range frames {
+		if recKind(f.Kind) == recCommit {
+			firstCommit = i
+			break
+		}
+	}
+	if firstCommit < 0 || firstCommit+2 >= len(frames) {
+		t.Fatalf("no usable commit boundary in %d frames", len(frames))
+	}
+	if _, err := follower.AppendReplicated(frames[:firstCommit+2]); err != nil {
+		t.Fatal(err)
+	}
+	wantWM := frames[firstCommit].LSN
+	if follower.CommittedLSN() != wantWM {
+		t.Fatalf("watermark %d after torn batch, want %d", follower.CommittedLSN(), wantWM)
+	}
+
+	// Promote: discard the torn tail, fence the log.
+	follower.AbortReplicated()
+	if err := follower.RotateSegment(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The promoted store accepts its own writes at the fenced LSN.
+	own := genMutations(t, g, follower.Composite().Clone(), 10, 17)
+	if _, _, err := follower.Apply(append(own[:len(own):len(own)], Mutation{Kind: MutCommit})); err != nil {
+		t.Fatal(err)
+	}
+
+	want := follower.Composite().Clone()
+	wm := follower.CommittedLSN()
+	if wm <= wantWM {
+		t.Fatalf("own write did not advance the watermark (%d <= %d)", wm, wantWM)
+	}
+	if err := follower.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, info, err := Open(dirF, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if info.Damage != nil {
+		t.Fatalf("promoted reopen found damage: %v", info)
+	}
+	if re.CommittedLSN() != wm {
+		t.Fatalf("promoted reopen watermark %d, want %d", re.CommittedLSN(), wm)
+	}
+	if err := re.Composite().EqualState(want); err != nil {
+		t.Fatalf("promoted reopen diverged: %v", err)
+	}
+}
+
+// TestReplicaSnapshotCatchUp drives the compaction path: the leader
+// snapshots and compacts its log past the follower's position, TailFrom
+// reports ErrCompacted, and InstallSnapshot re-bases the follower — the
+// follower's own automatic snapshots (SnapshotEvery) also fire along
+// the way, proving follower segments are self-contained (v2 headers
+// carry the dest vector across segment boundaries).
+func TestReplicaSnapshotCatchUp(t *testing.T) {
+	g, c := testComposite(t)
+	dirF := t.TempDir() + "/fol"
+	leader, err := Create(t.TempDir()+"/lead", c, Options{SnapshotEvery: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	follower := bootstrapReplica(t, leader, dirF, Options{SnapshotEvery: 10})
+	defer follower.Close()
+
+	muts := genMutations(t, g, c.Clone(), 60, 19)
+	for i := 0; i < 60; i += 6 {
+		if _, _, err := leader.Apply(append(muts[i:i+6:i+6], Mutation{Kind: MutCommit})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The leader has compacted (SnapshotEvery 25 over 60 mutations), so
+	// a follower still at the bootstrap LSN must hit ErrCompacted at
+	// least once; catchUp installs the snapshot and resumes.
+	if _, _, err := leader.TailFrom(follower.CommittedLSN()+1, 10); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("leader did not compact past the follower (err %v)", err)
+	}
+	catchUp(t, leader, follower, 9)
+	if err := follower.Composite().EqualState(leader.Composite()); err != nil {
+		t.Fatalf("follower diverged after snapshot catch-up: %v", err)
+	}
+
+	// Reopen after the follower's own snapshots + v2 segment headers.
+	wm := follower.CommittedLSN()
+	if err := follower.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, info, err := Open(dirF, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if info.Damage != nil {
+		t.Fatalf("follower reopen found damage: %v", info)
+	}
+	if re.CommittedLSN() != wm {
+		t.Fatalf("reopened watermark %d, want %d", re.CommittedLSN(), wm)
+	}
+	if err := re.Composite().EqualState(leader.Composite()); err != nil {
+		t.Fatalf("reopened follower diverged: %v", err)
+	}
+}
+
+// TestReplicaDiskFaultCommittedPrefix injects fsync failures on the
+// follower while it replays the leader's stream: every acked
+// (committed) batch must survive a reopen bitwise, and the recovered
+// watermark equals the last successfully committed LSN.
+func TestReplicaDiskFaultCommittedPrefix(t *testing.T) {
+	g, c := testComposite(t)
+	dirF := t.TempDir() + "/fol"
+	leader, err := Create(t.TempDir()+"/lead", c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+
+	inj := fault.NewDiskInjector(
+		fault.DiskEvent{Kind: fault.SyncErr, N: 4},
+		fault.DiskEvent{Kind: fault.SyncErr, N: 5},
+	)
+	follower := bootstrapReplica(t, leader, dirF, Options{Injector: inj})
+	defer follower.Close()
+
+	muts := genMutations(t, g, c.Clone(), 50, 23)
+	for i := 0; i < 50; i += 10 {
+		if _, _, err := leader.Apply(append(muts[i:i+10:i+10], Mutation{Kind: MutCommit})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frames, _, err := leader.TailFrom(1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed everything; the armed fsync failure poisons mid-stream. The
+	// retry ladder (RetrySync) then completes the interrupted commit and
+	// the rest of the stream re-applies idempotently.
+	_, aerr := follower.AppendReplicated(frames)
+	if aerr == nil {
+		t.Fatal("armed fsync failure never fired")
+	}
+	for attempt := 0; follower.CanRetrySync() && attempt < 5; attempt++ {
+		if err := follower.RetrySync(); err == nil {
+			break
+		}
+	}
+	if follower.Failed() {
+		t.Fatalf("retry ladder did not clear the poison")
+	}
+	if _, err := follower.AppendReplicated(frames); err != nil {
+		t.Fatal(err)
+	}
+	if follower.CommittedLSN() != leader.CommittedLSN() {
+		t.Fatalf("watermark %d after recovery, leader %d", follower.CommittedLSN(), leader.CommittedLSN())
+	}
+	if err := follower.Composite().EqualState(leader.Composite()); err != nil {
+		t.Fatalf("follower diverged after fsync chaos: %v", err)
+	}
+
+	wm := follower.CommittedLSN()
+	if err := follower.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, info, err := Open(dirF, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if info.Damage != nil {
+		t.Fatalf("reopen found damage: %v", info)
+	}
+	if re.CommittedLSN() != wm {
+		t.Fatalf("reopened watermark %d, want %d", re.CommittedLSN(), wm)
+	}
+	if err := re.Composite().EqualState(leader.Composite()); err != nil {
+		t.Fatalf("reopened follower diverged: %v", err)
+	}
+}
+
+// TestWalStats sanity-checks the /metrics wal block numbers.
+func TestWalStats(t *testing.T) {
+	g, c := testComposite(t)
+	st, err := Create(t.TempDir()+"/st", c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	muts := genMutations(t, g, c.Clone(), 10, 29)
+	if _, _, err := st.Apply(append(muts[:len(muts):len(muts)], Mutation{Kind: MutCommit})); err != nil {
+		t.Fatal(err)
+	}
+	ws := st.WalStats()
+	if ws.CommittedLSN != st.CommittedLSN() {
+		t.Fatalf("wal stats lsn %d, store %d", ws.CommittedLSN, st.CommittedLSN())
+	}
+	if ws.Segments < 1 || ws.Bytes <= 0 {
+		t.Fatalf("implausible segment stats: %+v", ws)
+	}
+	if ws.Snapshots < 1 || ws.SnapshotBytes <= 0 {
+		t.Fatalf("implausible snapshot stats: %+v", ws)
+	}
+}

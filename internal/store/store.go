@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"adp/internal/composite"
 	"adp/internal/fault"
@@ -90,6 +91,18 @@ type Store struct {
 	nextLSN uint64 // LSN the next appended frame gets
 	snapLSN uint64 // highest LSN folded into the newest snapshot
 
+	// commitLSN is the LSN of the newest durably committed frame — the
+	// replication watermark. It is the only Store field readable from
+	// other goroutines (TailFrom, /metrics, the replication leader);
+	// everything else keeps the single-writer discipline.
+	commitLSN atomic.Uint64
+
+	// Replication staging (follower role): mutations decoded from
+	// leader frames since the last commit boundary, applied to the
+	// composite only when their commit marker lands durably.
+	replStaged []replStagedMut
+	replDest   []int
+
 	seg     vfile
 	segName string
 
@@ -162,6 +175,7 @@ func Create(dir string, c *composite.Composite, opts Options) (*Store, error) {
 	if err := s.openSegment(); err != nil {
 		return nil, err
 	}
+	s.commitLSN.Store(s.nextLSN - 1)
 	return s, nil
 }
 
@@ -233,6 +247,7 @@ func Open(dir string, g *graph.Graph, opts Options) (*Store, *RecoveryInfo, erro
 	if err := s.openSegment(); err != nil {
 		return nil, nil, err
 	}
+	s.commitLSN.Store(s.nextLSN - 1)
 	return s, info, nil
 }
 
@@ -248,7 +263,12 @@ func (s *Store) replay(segs map[uint64]string, segLSNs []uint64, info *RecoveryI
 	var (
 		batch   []batched
 		curDest []int
-		next    = uint64(0) // expected first LSN; 0 accepts any start
+		// destAtCommit is the sticky dest vector as of the last commit
+		// boundary — recovered into replDest so a restarted follower can
+		// keep self-contained segment headers (a recDest in a discarded
+		// uncommitted tail must not leak into it).
+		destAtCommit []int
+		next         = uint64(0) // expected first LSN; 0 accepts any start
 	)
 	// liveStart is the first segment not fully covered by the snapshot;
 	// covered segments are skipped without decoding so bitrot in
@@ -261,6 +281,10 @@ func (s *Store) replay(segs map[uint64]string, segLSNs []uint64, info *RecoveryI
 	}
 	// Last fully-committed position within the live segments.
 	lastCommitSeg, lastCommitOff := -1, int64(segHdrLen)
+	// liveHdrLen is the liveStart segment's header length — the
+	// truncation floor when no commit survives (v2 headers are longer
+	// than the fixed 8 bytes).
+	liveHdrLen := int64(segHdrLen)
 	damageAt := func(si int, d *Damage) {
 		if info.Damage == nil {
 			info.Damage = d
@@ -288,10 +312,37 @@ scan:
 			damageAt(si, &Damage{Offset: 0, Reason: fmt.Sprintf("segment starts at lsn %d, snapshot covers %d", start, s.snapLSN)})
 			break scan
 		}
-		frames, dmg, err := scanSegment(data, start)
+		frames, hdrDest, dmg, err := scanSegmentDest(data, start)
 		if err != nil {
 			damageAt(si, &Damage{Offset: 0, Reason: err.Error()})
 			break scan
+		}
+		if si == liveStart {
+			liveHdrLen = segmentHeaderLen(data)
+		}
+		if hdrDest != nil {
+			// A follower-opened segment seeds the sticky dest vector from
+			// its header; validate like a recDest frame.
+			if len(hdrDest) != s.comp.K() {
+				damageAt(si, &Damage{Offset: 0, Reason: fmt.Sprintf("header dest has %d entries, composite has %d partitions", len(hdrDest), s.comp.K())})
+				break scan
+			}
+			ok := true
+			for _, d := range hdrDest {
+				if d < 0 || d >= s.comp.N() {
+					damageAt(si, &Damage{Offset: 0, Reason: fmt.Sprintf("header dest fragment %d out of range [0,%d)", d, s.comp.N())})
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break scan
+			}
+			// Segments open only at commit boundaries, so the header dest
+			// is also the dest-at-commit state until a commit says
+			// otherwise.
+			curDest = hdrDest
+			destAtCommit = hdrDest
 		}
 		for _, f := range frames {
 			bad := func(reason string) { damageAt(si, &Damage{Offset: f.off, Reason: reason}) }
@@ -353,6 +404,7 @@ scan:
 				batch = batch[:0]
 				lastCommitSeg, lastCommitOff = si, f.end
 				s.nextLSN = f.lsn + 1
+				destAtCommit = curDest
 			}
 		}
 		if dmg != nil {
@@ -370,7 +422,10 @@ scan:
 	// the first live segment is reset to its bare header.
 	keepSeg, keepOff := lastCommitSeg, lastCommitOff
 	if keepSeg < 0 {
-		keepSeg, keepOff = liveStart, segHdrLen
+		keepSeg, keepOff = liveStart, liveHdrLen
+	}
+	if destAtCommit != nil {
+		s.replDest = append([]int(nil), destAtCommit...)
 	}
 	for si := len(segLSNs) - 1; si >= liveStart; si-- {
 		name := segs[segLSNs[si]]
@@ -408,7 +463,15 @@ func (s *Store) openSegment() error {
 	if err != nil {
 		return s.fail(fmt.Errorf("store: creating segment: %w", err))
 	}
-	if _, err := f.Write(newSegmentHeader()); err != nil {
+	hdr := newSegmentHeader()
+	if len(s.replDest) > 0 {
+		// Follower role: replicated frames are appended verbatim, so the
+		// fresh segment cannot re-log a recDest without consuming an LSN.
+		// Record the sticky dest vector in the header instead, keeping
+		// the segment self-contained for replay.
+		hdr = newSegmentHeaderDest(s.replDest)
+	}
+	if _, err := f.Write(hdr); err != nil {
 		f.Close()
 		return s.fail(fmt.Errorf("store: writing segment header: %w", err))
 	}
@@ -478,6 +541,12 @@ func (s *Store) RetrySync() error {
 	s.pendingMuts = 0
 	s.failed = nil
 	s.retrySync = false
+	// A replicated commit interrupted by the failed sync still has its
+	// staged mutations to fold into the composite.
+	if err := s.applyReplStaged(); err != nil {
+		return err
+	}
+	s.commitLSN.Store(s.nextLSN - 1)
 	return nil
 }
 
@@ -490,6 +559,11 @@ func (s *Store) Dir() string { return s.dir }
 
 // LSN returns the LSN of the most recently appended frame.
 func (s *Store) LSN() uint64 { return s.nextLSN - 1 }
+
+// CommittedLSN returns the LSN of the newest durably committed frame —
+// the replication watermark. Unlike every other accessor it is safe to
+// call from any goroutine.
+func (s *Store) CommittedLSN() uint64 { return s.commitLSN.Load() }
 
 // Committed returns the number of mutations committed through this
 // handle.
@@ -578,6 +652,7 @@ func (s *Store) commit(allowSnap bool) error {
 	s.mutsSinceSnap += s.pendingMuts
 	s.pending = s.pending[:0]
 	s.pendingMuts = 0
+	s.commitLSN.Store(s.nextLSN - 1)
 	if allowSnap && s.opts.SnapshotEvery > 0 && s.mutsSinceSnap >= s.opts.SnapshotEvery {
 		return s.Snapshot()
 	}

@@ -28,6 +28,8 @@ type vfs interface {
 	Rename(oldname, newname string) error
 	Remove(name string) error
 	Truncate(name string, size int64) error
+	// Size returns the current length of name in bytes.
+	Size(name string) (int64, error)
 	// List returns the file names (not paths) in dir, sorted.
 	List(dir string) ([]string, error)
 }
@@ -48,6 +50,14 @@ func (osVFS) Rename(o, n string) error             { return os.Rename(o, n) }
 func (osVFS) Remove(name string) error             { return os.Remove(name) }
 func (osVFS) Truncate(name string, size int64) error {
 	return os.Truncate(name, size)
+}
+
+func (osVFS) Size(name string) (int64, error) {
+	fi, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
 }
 
 func (osVFS) List(dir string) ([]string, error) {
@@ -123,6 +133,7 @@ func (v *faultVFS) Truncate(name string, size int64) error {
 	}
 	return v.base.Truncate(name, size)
 }
+func (v *faultVFS) Size(name string) (int64, error)   { return v.base.Size(name) }
 func (v *faultVFS) List(dir string) ([]string, error) { return v.base.List(dir) }
 
 func (f *faultFile) Write(p []byte) (int, error) {

@@ -21,8 +21,18 @@ import (
 // WAL segment wire format (all little-endian):
 //
 //	header:  [segMagic u32][segVersion u32]
+//	v2:      [segMagic u32][2 u32][k u16][k × dest u32]
 //	frame:   [payloadLen u32][crc32c u32][payload]
 //	payload: [lsn u64][kind u8][body]
+//
+// A version-2 header additionally records the destination vector in
+// effect when the segment was opened. Replication followers append the
+// leader's frames verbatim into segments whose boundaries do not line
+// up with the leader's, so — unlike the leader, which re-logs a recDest
+// on the first insert of every fresh segment — a follower segment may
+// open mid-batch with a sticky recDest that lives in an earlier
+// (possibly compacted) file. The header extension keeps every segment
+// self-contained for replay without consuming an LSN.
 //
 // The CRC (Castagnoli) covers the payload only; payloadLen covers the
 // payload only. Record kinds and bodies:
@@ -42,8 +52,11 @@ import (
 const (
 	segMagic   = uint32(0xAD9A_0005)
 	segVersion = uint32(1)
-	segHdrLen  = 8
-	frameHdr   = 8 // payloadLen + crc
+	// segVersionDest marks a header carrying the sticky destination
+	// vector (follower-opened segments).
+	segVersionDest = uint32(2)
+	segHdrLen      = 8
+	frameHdr       = 8 // payloadLen + crc
 	// maxFramePayload caps what a frame may declare; the largest real
 	// payload is a recDest with 32 destinations (~140 bytes), so
 	// anything near the cap is corruption, not data.
@@ -112,10 +125,10 @@ func appendFrame(buf []byte, lsn uint64, kind recKind, body []byte) []byte {
 // segment bytes.
 type Damage struct {
 	// Offset is where the undecodable region starts.
-	Offset int64
+	Offset int64 `json:"offset"`
 	// Reason is a frame-level diagnosis: torn frame, CRC mismatch,
 	// bad kind, or an LSN break.
-	Reason string
+	Reason string `json:"reason"`
 }
 
 func (d *Damage) Error() string {
@@ -126,40 +139,86 @@ func (d *Damage) Error() string {
 // whole file is untrusted.
 var errBadSegHeader = errors.New("wal: bad segment header")
 
+// parseSegmentHeader validates a segment header and returns the sticky
+// destination vector it carries (nil for version 1) plus the header
+// length in bytes.
+func parseSegmentHeader(data []byte) ([]int, int64, error) {
+	if len(data) < segHdrLen {
+		return nil, 0, errBadSegHeader
+	}
+	if binary.LittleEndian.Uint32(data) != segMagic {
+		return nil, 0, errBadSegHeader
+	}
+	switch v := binary.LittleEndian.Uint32(data[4:]); v {
+	case segVersion:
+		return nil, segHdrLen, nil
+	case segVersionDest:
+		if len(data) < segHdrLen+2 {
+			return nil, 0, fmt.Errorf("%w: torn dest extension", errBadSegHeader)
+		}
+		k := int(binary.LittleEndian.Uint16(data[segHdrLen:]))
+		if k < 1 || k > 32 {
+			return nil, 0, fmt.Errorf("%w: dest extension length %d out of range [1,32]", errBadSegHeader, k)
+		}
+		end := segHdrLen + 2 + 4*k
+		if len(data) < end {
+			return nil, 0, fmt.Errorf("%w: torn dest extension", errBadSegHeader)
+		}
+		dest := make([]int, k)
+		for j := range dest {
+			dest[j] = int(binary.LittleEndian.Uint32(data[segHdrLen+2+4*j:]))
+		}
+		return dest, int64(end), nil
+	default:
+		return nil, 0, fmt.Errorf("%w: version %d", errBadSegHeader, v)
+	}
+}
+
+// segmentHeaderLen returns the header length of a segment, or segHdrLen
+// when the header is unreadable (the legacy truncation floor).
+func segmentHeaderLen(data []byte) int64 {
+	_, n, err := parseSegmentHeader(data)
+	if err != nil {
+		return segHdrLen
+	}
+	return n
+}
+
 // scanSegment decodes the frames of one segment. It returns every
 // frame that decodes cleanly in order, and a non-nil *Damage when the
 // scan stopped early (torn tail, CRC mismatch, kind or LSN breakage).
 // wantLSN is the LSN the first frame must carry; pass 0 to accept any
 // start. A clean, fully-consumed segment returns (frames, nil, nil).
 func scanSegment(data []byte, wantLSN uint64) ([]frame, *Damage, error) {
-	if len(data) < segHdrLen {
-		return nil, nil, errBadSegHeader
-	}
-	if binary.LittleEndian.Uint32(data) != segMagic {
-		return nil, nil, errBadSegHeader
-	}
-	if v := binary.LittleEndian.Uint32(data[4:]); v != segVersion {
-		return nil, nil, fmt.Errorf("%w: version %d", errBadSegHeader, v)
+	frames, _, dmg, err := scanSegmentDest(data, wantLSN)
+	return frames, dmg, err
+}
+
+// scanSegmentDest is scanSegment plus the header's sticky destination
+// vector (nil for a version-1 header).
+func scanSegmentDest(data []byte, wantLSN uint64) ([]frame, []int, *Damage, error) {
+	hdrDest, off, herr := parseSegmentHeader(data)
+	if herr != nil {
+		return nil, nil, nil, herr
 	}
 	var frames []frame
-	off := int64(segHdrLen)
 	next := wantLSN
 	for off < int64(len(data)) {
 		rest := data[off:]
 		if len(rest) < frameHdr {
-			return frames, &Damage{Offset: off, Reason: fmt.Sprintf("torn frame header (%d trailing bytes)", len(rest))}, nil
+			return frames, hdrDest, &Damage{Offset: off, Reason: fmt.Sprintf("torn frame header (%d trailing bytes)", len(rest))}, nil
 		}
 		plen := binary.LittleEndian.Uint32(rest)
 		crc := binary.LittleEndian.Uint32(rest[4:])
 		if plen < 9 || plen > maxFramePayload {
-			return frames, &Damage{Offset: off, Reason: fmt.Sprintf("implausible payload length %d", plen)}, nil
+			return frames, hdrDest, &Damage{Offset: off, Reason: fmt.Sprintf("implausible payload length %d", plen)}, nil
 		}
 		if int64(len(rest)) < frameHdr+int64(plen) {
-			return frames, &Damage{Offset: off, Reason: fmt.Sprintf("torn frame (%d of %d payload bytes)", len(rest)-frameHdr, plen)}, nil
+			return frames, hdrDest, &Damage{Offset: off, Reason: fmt.Sprintf("torn frame (%d of %d payload bytes)", len(rest)-frameHdr, plen)}, nil
 		}
 		payload := rest[frameHdr : frameHdr+int(plen)]
 		if got := crc32.Checksum(payload, castagnoli); got != crc {
-			return frames, &Damage{Offset: off, Reason: fmt.Sprintf("crc mismatch (stored %#x, computed %#x)", crc, got)}, nil
+			return frames, hdrDest, &Damage{Offset: off, Reason: fmt.Sprintf("crc mismatch (stored %#x, computed %#x)", crc, got)}, nil
 		}
 		f := frame{
 			lsn:  binary.LittleEndian.Uint64(payload),
@@ -169,16 +228,16 @@ func scanSegment(data []byte, wantLSN uint64) ([]frame, *Damage, error) {
 			end:  off + frameHdr + int64(plen),
 		}
 		if f.kind < recDest || f.kind > recCommit {
-			return frames, &Damage{Offset: off, Reason: fmt.Sprintf("unknown record kind %d", payload[8])}, nil
+			return frames, hdrDest, &Damage{Offset: off, Reason: fmt.Sprintf("unknown record kind %d", payload[8])}, nil
 		}
 		if next != 0 && f.lsn != next {
-			return frames, &Damage{Offset: off, Reason: fmt.Sprintf("lsn break (want %d, got %d)", next, f.lsn)}, nil
+			return frames, hdrDest, &Damage{Offset: off, Reason: fmt.Sprintf("lsn break (want %d, got %d)", next, f.lsn)}, nil
 		}
 		next = f.lsn + 1
 		frames = append(frames, f)
 		off = f.end
 	}
-	return frames, nil, nil
+	return frames, hdrDest, nil, nil
 }
 
 // decodeDest parses a recDest body.
@@ -228,5 +287,18 @@ func newSegmentHeader() []byte {
 	hdr := make([]byte, segHdrLen)
 	binary.LittleEndian.PutUint32(hdr, segMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], segVersion)
+	return hdr
+}
+
+// newSegmentHeaderDest builds a version-2 header carrying the sticky
+// destination vector in effect at segment open.
+func newSegmentHeaderDest(dest []int) []byte {
+	hdr := make([]byte, segHdrLen+2+4*len(dest))
+	binary.LittleEndian.PutUint32(hdr, segMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], segVersionDest)
+	binary.LittleEndian.PutUint16(hdr[segHdrLen:], uint16(len(dest)))
+	for j, d := range dest {
+		binary.LittleEndian.PutUint32(hdr[segHdrLen+2+4*j:], uint32(d))
+	}
 	return hdr
 }

@@ -1,0 +1,49 @@
+// Package testutil holds helpers shared by the chaos suites. It is
+// imported only from _test files; keep it free of production imports.
+package testutil
+
+import (
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// GoroutineBaseline snapshots the current goroutine count after a GC.
+// Call it after warming long-lived helpers (engine pools, HTTP
+// transports) so they land inside the baseline, then hand the result to
+// CheckGoroutines once the system under test is torn down.
+func GoroutineBaseline() int {
+	runtime.GC()
+	return runtime.NumGoroutine()
+}
+
+// CheckGoroutines fails t unless the goroutine count settles back to
+// within slack of base before the deadline (5s). Shutdown is
+// asynchronous — connection teardown, pool reaping, timer expiry — so
+// the check polls instead of sampling once, and dumps all stacks on
+// failure so the leaked goroutine is identifiable.
+func CheckGoroutines(t TB, base, slack int) {
+	t.Helper()
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= base+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines grew from %d to %d\n%s",
+				base, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TB is the slice of testing.TB these helpers need; the indirection
+// keeps testutil importable outside _test files without dragging the
+// testing package into production binaries' import graphs.
+type TB interface {
+	Helper()
+	Fatalf(format string, args ...any)
+}
